@@ -1,0 +1,35 @@
+package mwllsc_test
+
+import (
+	"testing"
+
+	"mwllsc/internal/apps/shared"
+	"mwllsc/internal/apps/snapshot"
+	"mwllsc/internal/impls"
+)
+
+func newSnapshot(b *testing.B, name string, comps int) *snapshot.Snapshot {
+	b.Helper()
+	f, err := impls.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := snapshot.New(f, 8, comps, make([]uint64, comps))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func newQueue(b *testing.B, name string, n, capacity int) *shared.Queue {
+	b.Helper()
+	f, err := impls.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := shared.NewQueue(f, n, capacity)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return q
+}

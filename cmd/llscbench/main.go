@@ -1,0 +1,88 @@
+// Command llscbench regenerates the experiment tables E1-E7 from DESIGN.md:
+// the empirical counterparts of the paper's Theorem 1 claims and of the
+// comparisons its introduction makes against the previous best algorithm.
+//
+// Usage:
+//
+//	llscbench [-e e1,e3] [-impls jp,amstyle] [-dur 200ms] [-iters 50000] [-csv]
+//
+// With no -e flag every experiment runs. Results print as plain-text
+// tables; EXPERIMENTS.md records a reference run with commentary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mwllsc/internal/bench"
+	"mwllsc/internal/impls"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("llscbench", flag.ContinueOnError)
+	var (
+		exps     = fs.String("e", "", "comma-separated experiments to run (e1..e7); empty = all")
+		implList = fs.String("impls", "", "comma-separated implementations (default: all of "+strings.Join(impls.Names(), ",")+")")
+		dur      = fs.Duration("dur", 150*time.Millisecond, "measurement window per throughput point")
+		iters    = fs.Int("iters", 30000, "iterations per latency point")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables (for plotting)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	o := bench.Options{Dur: *dur, Iters: *iters}
+	if *implList != "" {
+		o.Impls = strings.Split(*implList, ",")
+	}
+
+	builders := []struct {
+		id    string
+		build func(bench.Options) (*bench.Table, error)
+	}{
+		{"e1", bench.E1TimeComplexity},
+		{"e2", bench.E2Space},
+		{"e3", bench.E3Throughput},
+		{"e4", bench.E4Helping},
+		{"e5", bench.E5Substrate},
+		{"e6", bench.E6Applications},
+		{"e7", bench.E7Allocation},
+	}
+
+	want := map[string]bool{}
+	if *exps != "" {
+		for _, e := range strings.Split(*exps, ",") {
+			want[strings.ToLower(strings.TrimSpace(e))] = true
+		}
+	}
+
+	ran := 0
+	for _, b := range builders {
+		if len(want) > 0 && !want[b.id] {
+			continue
+		}
+		t, err := b.build(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "llscbench: %s: %v\n", b.id, err)
+			return 1
+		}
+		if *csv {
+			t.FprintCSV(os.Stdout)
+		} else {
+			t.Fprint(os.Stdout)
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "llscbench: no experiment matched %q\n", *exps)
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiment(t *testing.T) {
+	if code := run([]string{"-e", "e7", "-dur", "5ms", "-iters", "200", "-impls", "jp,gcptr"}); code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+}
+
+func TestRunMultipleExperiments(t *testing.T) {
+	if code := run([]string{"-e", "e2,e5", "-dur", "5ms", "-iters", "200"}); code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if code := run([]string{"-e", "e99"}); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+func TestRunUnknownImpl(t *testing.T) {
+	if code := run([]string{"-e", "e7", "-impls", "nonexistent", "-dur", "5ms"}); code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if code := run([]string{"-nope"}); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}

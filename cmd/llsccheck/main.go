@@ -1,0 +1,174 @@
+// Command llsccheck model-checks the paper's algorithm in the deterministic
+// simulator: seeded adversarial schedules with runtime checking of the
+// proof's invariants (I1, I2, Lemmas 2-3), linearizability checking of the
+// resulting histories, and Theorem 1 step-bound verification. It is the
+// executable counterpart of the paper's §3.
+//
+// Usage:
+//
+//	llsccheck [-n 3] [-w 4] [-ops 5] [-seeds 200] [-adversary random|starve|crash|torn]
+//	llsccheck -explore 2 [-n 2] [-w 2] [-ops 1] [-maxruns 100000]   # systematic schedules
+//	llsccheck -dump -seed 7                                          # transcript of one run
+//
+// Exit status 0 means every schedule passed all checks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mwllsc/internal/check"
+	"mwllsc/internal/sim"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("llsccheck", flag.ContinueOnError)
+	var (
+		n         = fs.Int("n", 3, "processes")
+		w         = fs.Int("w", 4, "words per value")
+		ops       = fs.Int("ops", 5, "LL;SC rounds per process")
+		seeds     = fs.Int("seeds", 200, "number of seeds to explore")
+		adversary = fs.String("adversary", "random", "schedule adversary: random|starve|crash|torn")
+		verbose   = fs.Bool("v", false, "print per-seed results")
+		explore   = fs.Int("explore", -1, "systematic exploration with this preemption bound (overrides -seeds)")
+		maxRuns   = fs.Int("maxruns", 200000, "cap on explored schedules with -explore")
+		dump      = fs.Bool("dump", false, "print the execution transcript of a single run")
+		dumpSeed  = fs.Int64("seed", 0, "seed for -dump")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *dump {
+		return runDump(*n, *w, *ops, *dumpSeed)
+	}
+	if *explore >= 0 {
+		return runExplore(*n, *w, *ops, *explore, *maxRuns)
+	}
+
+	var (
+		linChecked int
+		helped     int64
+		worstLL    int
+		worstSC    int
+	)
+	for seed := int64(0); seed < int64(*seeds); seed++ {
+		cfg := sim.Config{
+			N: *n, W: *w, OpsPerProc: *ops, Seed: seed, VLEvery: 3,
+		}
+		skipLin := false
+		switch *adversary {
+		case "random":
+		case "starve":
+			cfg.Policy = &sim.Starve{Victim: int(seed) % *n, Every: 200, Inner: sim.NewRandom(seed)}
+			cfg.TornReads = true
+		case "torn":
+			cfg.TornReads = true
+		case "crash":
+			cfg.Crashes = map[int]int{int(seed) % *n: 20 + int(seed%50)}
+			skipLin = true // pending ops of crashed processes are unrecorded
+		default:
+			fmt.Fprintf(os.Stderr, "llsccheck: unknown adversary %q\n", *adversary)
+			return 2
+		}
+
+		res, err := sim.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "llsccheck: seed %d: %v\n", seed, err)
+			return 1
+		}
+		if len(res.Violations) > 0 {
+			fmt.Fprintf(os.Stderr, "llsccheck: seed %d: %d violation(s):\n", seed, len(res.Violations))
+			for _, v := range res.Violations {
+				fmt.Fprintf(os.Stderr, "  %v\n", v)
+			}
+			return 1
+		}
+		if !skipLin && len(res.History) <= check.MaxOps {
+			if err := check.CheckLLSC(res.History, "0"); err != nil {
+				fmt.Fprintf(os.Stderr, "llsccheck: seed %d: %v\n", seed, err)
+				return 1
+			}
+			linChecked++
+		}
+		if res.MaxLLSteps > 4**w+11 || res.MaxSCSteps > *w+10 || res.MaxVLSteps > 1 {
+			fmt.Fprintf(os.Stderr,
+				"llsccheck: seed %d: step bounds exceeded: LL=%d (<=%d), SC=%d (<=%d), VL=%d (<=1)\n",
+				seed, res.MaxLLSteps, 4**w+11, res.MaxSCSteps, *w+10, res.MaxVLSteps)
+			return 1
+		}
+		helped += res.Stats.LLHelped
+		if res.MaxLLSteps > worstLL {
+			worstLL = res.MaxLLSteps
+		}
+		if res.MaxSCSteps > worstSC {
+			worstSC = res.MaxSCSteps
+		}
+		if *verbose {
+			fmt.Printf("seed %4d: steps=%6d helped=%d torn=%d\n",
+				seed, res.Steps, res.Stats.LLHelped, res.TornReads)
+		}
+	}
+
+	fmt.Printf("llsccheck: OK — %d seeds (%s adversary), n=%d w=%d ops=%d\n",
+		*seeds, *adversary, *n, *w, *ops)
+	fmt.Printf("  invariants I1/I2, lemmas 2-4, writer exclusivity: all held\n")
+	fmt.Printf("  linearizability: %d histories checked\n", linChecked)
+	fmt.Printf("  step bounds: worst LL %d (bound %d), worst SC %d (bound %d)\n",
+		worstLL, 4**w+11, worstSC, *w+10)
+	fmt.Printf("  helped LLs across seeds: %d\n", helped)
+	return 0
+}
+
+// runExplore performs CHESS-style bounded-preemption exploration.
+func runExplore(n, w, ops, bound, maxRuns int) int {
+	res, err := sim.Explore(sim.ExploreConfig{
+		N: n, W: w, OpsPerProc: ops, Seed: 1, VLEvery: 2,
+		MaxPreemptions: bound, MaxRuns: maxRuns,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "llsccheck: %v\n", err)
+		return 1
+	}
+	if len(res.Findings) > 0 {
+		f := res.Findings[0]
+		fmt.Fprintf(os.Stderr, "llsccheck: %d failing schedule(s); first prefix %v:\n", len(res.Findings), f.Prefix)
+		for _, e := range f.Errs {
+			fmt.Fprintf(os.Stderr, "  %s\n", e)
+		}
+		return 1
+	}
+	trunc := ""
+	if res.Truncated {
+		trunc = " (truncated by -maxruns)"
+	}
+	fmt.Printf("llsccheck: OK — systematically explored %d schedules%s, preemption bound %d, n=%d w=%d ops=%d\n",
+		res.Runs, trunc, bound, n, w, ops)
+	fmt.Printf("  worst LL %d steps (bound %d), worst SC %d steps (bound %d), helped LLs %d\n",
+		res.MaxLLSteps, 4*w+11, res.MaxSCSteps, w+10, res.HelpedLLs)
+	return 0
+}
+
+// runDump prints the full transcript of one seeded run.
+func runDump(n, w, ops int, seed int64) int {
+	res, err := sim.Run(sim.Config{
+		N: n, W: w, OpsPerProc: ops, Seed: seed, VLEvery: 2, TraceTo: os.Stdout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "llsccheck: %v\n", err)
+		return 1
+	}
+	fmt.Printf("steps=%d violations=%d helped=%d\n", res.Steps, len(res.Violations), res.Stats.LLHelped)
+	for _, v := range res.Violations {
+		fmt.Printf("  violation: %v\n", v)
+	}
+	if len(res.Violations) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestRunRandomSeeds(t *testing.T) {
+	if code := run([]string{"-seeds", "5", "-n", "2", "-w", "2", "-ops", "2"}); code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+}
+
+func TestRunAllAdversaries(t *testing.T) {
+	for _, adv := range []string{"starve", "torn", "crash"} {
+		if code := run([]string{"-seeds", "4", "-adversary", adv}); code != 0 {
+			t.Fatalf("adversary %s: exit code %d", adv, code)
+		}
+	}
+}
+
+func TestRunUnknownAdversary(t *testing.T) {
+	if code := run([]string{"-adversary", "nope"}); code == 0 {
+		t.Fatal("unknown adversary accepted")
+	}
+}
+
+func TestRunExploreMode(t *testing.T) {
+	if code := run([]string{"-explore", "1", "-n", "2", "-w", "1", "-ops", "1"}); code != 0 {
+		t.Fatalf("explore exit code %d", code)
+	}
+}
+
+func TestRunDumpMode(t *testing.T) {
+	if code := run([]string{"-dump", "-seed", "2", "-n", "2", "-w", "1", "-ops", "1"}); code != 0 {
+		t.Fatalf("dump exit code %d", code)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if code := run([]string{"-bogus"}); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}

@@ -1,0 +1,104 @@
+// Command llscspace prints the space-complexity comparison (experiment E2):
+// the paper-accounting footprint and physical bytes of every registered
+// implementation across an N×W sweep, highlighting the factor-N separation
+// between the paper's O(NW) algorithm and the O(N²W) baseline.
+//
+// Usage:
+//
+//	llscspace [-n 2,4,8,16,32,64,128] [-w 4,16,64,256]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mwllsc/internal/bench"
+	"mwllsc/internal/impls"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("llscspace", flag.ContinueOnError)
+	var (
+		nList = fs.String("n", "2,4,8,16,32,64,128", "comma-separated process counts")
+		wList = fs.String("w", "4,16,64,256", "comma-separated word widths")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	ns, err := parseInts(*nList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "llscspace: -n: %v\n", err)
+		return 2
+	}
+	ws, err := parseInts(*wList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "llscspace: -w: %v\n", err)
+		return 2
+	}
+
+	names := impls.Names()
+	for _, w := range ws {
+		t := &bench.Table{
+			Title: fmt.Sprintf("space at W=%d — paper words (registers + LL/SC objects) and physical KiB", w),
+			Note:  "jp is the paper's O(NW) algorithm; amstyle carries the previous best's Θ(N²W) profile.",
+			Cols:  []string{"N"},
+		}
+		for _, name := range names {
+			t.Cols = append(t.Cols, name+" words", name+" KiB")
+		}
+		t.Cols = append(t.Cols, "amstyle/jp words")
+		for _, n := range ns {
+			row := []any{n}
+			var jpWords, amWords int64
+			for _, name := range names {
+				f, err := impls.ByName(name)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "llscspace: %v\n", err)
+					return 1
+				}
+				s, err := bench.SpaceOf(f, n, w)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "llscspace: %s n=%d w=%d: %v\n", name, n, w, err)
+					return 1
+				}
+				row = append(row, s.PaperWords(), float64(s.PhysBytes)/1024)
+				switch name {
+				case "jp":
+					jpWords = s.PaperWords()
+				case "amstyle":
+					amWords = s.PaperWords()
+				}
+			}
+			row = append(row, float64(amWords)/float64(jpWords))
+			t.AddRow(row...)
+		}
+		t.Fprint(os.Stdout)
+	}
+	return 0
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("value %d out of range", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestRunSmallSweep(t *testing.T) {
+	if code := run([]string{"-n", "2,4", "-w", "8"}); code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+}
+
+func TestRunBadLists(t *testing.T) {
+	if code := run([]string{"-n", "x"}); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if code := run([]string{"-w", "0"}); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts(" 1, 2,3 ")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("parseInts = %v, %v", got, err)
+	}
+	if _, err := parseInts(""); err == nil {
+		t.Fatal("empty list accepted")
+	}
+	if _, err := parseInts("-4"); err == nil {
+		t.Fatal("negative accepted")
+	}
+}

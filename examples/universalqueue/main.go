@@ -1,0 +1,125 @@
+// Universalqueue: a wait-free FIFO queue obtained from the universal
+// construction over the multiword LL/SC variable (the paper's citation [1]
+// — Anderson & Moir's universal constructions are exactly what the
+// multiword LL/SC object was designed to feed).
+//
+// Producers enqueue tagged values, consumers drain them; the program
+// verifies exactly-once delivery and per-producer FIFO order — properties
+// that only hold if every queue operation was linearizable.
+//
+//	go run ./examples/universalqueue
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"sync"
+
+	"mwllsc/internal/apps/shared"
+	"mwllsc/internal/impls"
+)
+
+const (
+	producers = 3
+	consumers = 3
+	perProd   = 4000
+	capacity  = 32
+)
+
+func main() {
+	f, err := impls.ByName(impls.JP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := shared.NewQueue(f, producers+consumers, capacity)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var (
+		prodWG   sync.WaitGroup
+		consWG   sync.WaitGroup
+		stop     = make(chan struct{})
+		consumed = make([][]uint64, consumers)
+	)
+
+	for p := 0; p < producers; p++ {
+		prodWG.Add(1)
+		go func(p int) {
+			defer prodWG.Done()
+			for i := 0; i < perProd; {
+				if q.Enqueue(p, uint64(p)<<32|uint64(i)) {
+					i++
+				} else {
+					runtime.Gosched() // full; let consumers drain
+				}
+			}
+		}(p)
+	}
+	for c := 0; c < consumers; c++ {
+		consWG.Add(1)
+		go func(c int) {
+			defer consWG.Done()
+			pid := producers + c
+			for {
+				if v, ok := q.Dequeue(pid); ok {
+					consumed[c] = append(consumed[c], v)
+					continue
+				}
+				select {
+				case <-stop:
+					for { // drain the tail
+						v, ok := q.Dequeue(pid)
+						if !ok {
+							return
+						}
+						consumed[c] = append(consumed[c], v)
+					}
+				default:
+					runtime.Gosched()
+				}
+			}
+		}(c)
+	}
+
+	prodWG.Wait()
+	close(stop)
+	consWG.Wait()
+
+	// Exactly-once delivery.
+	seen := make(map[uint64]bool, producers*perProd)
+	for _, vs := range consumed {
+		for _, v := range vs {
+			if seen[v] {
+				log.Fatalf("value %x delivered twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != producers*perProd {
+		log.Fatalf("delivered %d values, want %d", len(seen), producers*perProd)
+	}
+
+	// Per-producer FIFO order within each consumer's stream.
+	for c, vs := range consumed {
+		last := map[uint64]int64{}
+		for _, v := range vs {
+			prod, idx := v>>32, int64(v&0xffffffff)
+			if prev, ok := last[prod]; ok && idx < prev {
+				log.Fatalf("consumer %d saw producer %d out of order: %d after %d",
+					c, prod, idx, prev)
+			}
+			last[prod] = idx
+		}
+	}
+
+	counts := make([]int, consumers)
+	for c := range consumed {
+		counts[c] = len(consumed[c])
+	}
+	fmt.Printf("produced: %d x %d = %d values\n", producers, perProd, producers*perProd)
+	fmt.Printf("consumed per consumer: %v (total %d)\n", counts, len(seen))
+	fmt.Println("exactly-once delivery and per-producer FIFO order verified")
+	fmt.Println("every operation was wait-free: announce, fold pending ops, at most 3 SC attempts")
+}

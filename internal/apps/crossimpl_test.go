@@ -1,0 +1,150 @@
+// Package apps_test cross-validates the application layer against every
+// registered multiword LL/SC implementation: the applications must behave
+// identically whether the paper's algorithm or any baseline sits
+// underneath (they only assume the mwobj.MW contract).
+package apps_test
+
+import (
+	"sync"
+	"testing"
+
+	"mwllsc/internal/apps/farray"
+	"mwllsc/internal/apps/shared"
+	"mwllsc/internal/apps/snapshot"
+	"mwllsc/internal/impls"
+	"mwllsc/internal/mwobj"
+)
+
+func forEachImpl(t *testing.T, f func(t *testing.T, factory mwobj.Factory)) {
+	t.Helper()
+	for _, name := range impls.Names() {
+		factory, err := impls.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) { f(t, factory) })
+	}
+}
+
+func TestQueueConservationAcrossImpls(t *testing.T) {
+	forEachImpl(t, func(t *testing.T, factory mwobj.Factory) {
+		const (
+			n       = 4
+			perProc = 150
+		)
+		q, err := shared.NewQueue(factory, n, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		got := make([][]uint64, n)
+		for p := 0; p < n; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				// Each process alternates enqueue and dequeue so the
+				// queue never deadlocks on full/empty.
+				for i := 0; i < perProc; i++ {
+					v := uint64(p*perProc + i + 1)
+					for !q.Enqueue(p, v) {
+						if x, ok := q.Dequeue(p); ok {
+							got[p] = append(got[p], x)
+						}
+					}
+					if x, ok := q.Dequeue(p); ok {
+						got[p] = append(got[p], x)
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+		seen := map[uint64]bool{}
+		count := 0
+		for _, vs := range got {
+			for _, v := range vs {
+				if seen[v] {
+					t.Fatalf("value %d dequeued twice", v)
+				}
+				seen[v] = true
+				count++
+			}
+		}
+		if rest := q.Len(0); count+rest != n*perProc {
+			t.Fatalf("dequeued %d + queued %d != enqueued %d", count, rest, n*perProc)
+		}
+	})
+}
+
+func TestSnapshotMonotoneAcrossImpls(t *testing.T) {
+	forEachImpl(t, func(t *testing.T, factory mwobj.Factory) {
+		const writers = 2
+		s, err := snapshot.New(factory, writers+1, writers, make([]uint64, writers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for p := 0; p < writers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for i := uint64(1); ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+						s.Update(p, p, i)
+					}
+				}
+			}(p)
+		}
+		prev := make([]uint64, writers)
+		cur := make([]uint64, writers)
+		for i := 0; i < 300; i++ {
+			s.Scan(writers, cur)
+			for j := range cur {
+				if cur[j] < prev[j] {
+					t.Errorf("component %d went backwards: %d < %d", j, cur[j], prev[j])
+				}
+			}
+			copy(prev, cur)
+		}
+		close(stop)
+		wg.Wait()
+	})
+}
+
+func TestFArraySumAcrossImpls(t *testing.T) {
+	forEachImpl(t, func(t *testing.T, factory mwobj.Factory) {
+		const m = 4
+		a, err := farray.New(factory, 2, m, farray.Sum, []uint64{25, 25, 25, 25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					// Conserve the sum with a single atomic transfer.
+					from, to := i%m, (i+1)%m
+					a.Apply(0, from, func(v uint64) uint64 { return v - 1 })
+					a.Apply(0, to, func(v uint64) uint64 { return v + 1 })
+				}
+			}
+		}()
+		for i := 0; i < 500; i++ {
+			if got := a.Query(1); got != 100 && got != 99 {
+				// 99 is the legal window between the two transfers.
+				t.Fatalf("query %d: sum = %d, want 100 (or 99 mid-transfer)", i, got)
+			}
+		}
+		close(stop)
+		wg.Wait()
+	})
+}

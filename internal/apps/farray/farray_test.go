@@ -1,0 +1,167 @@
+package farray
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mwllsc/internal/impls"
+	"mwllsc/internal/mwobj"
+)
+
+func factory(t *testing.T) mwobj.Factory {
+	t.Helper()
+	f, err := impls.ByName(impls.JP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestAggregates(t *testing.T) {
+	in := []uint64{5, 1, 9, 3}
+	if got := Sum(in); got != 18 {
+		t.Errorf("Sum = %d", got)
+	}
+	if got := Max(in); got != 9 {
+		t.Errorf("Max = %d", got)
+	}
+	if got := Min(in); got != 1 {
+		t.Errorf("Min = %d", got)
+	}
+	if got := Max(nil); got != 0 {
+		t.Errorf("Max(nil) = %d", got)
+	}
+	if got := Min(nil); got != ^uint64(0) {
+		t.Errorf("Min(nil) = %d", got)
+	}
+}
+
+func TestSequentialQueryUpdate(t *testing.T) {
+	a, err := New(factory(t), 2, 4, Sum, []uint64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Query(0); got != 10 {
+		t.Fatalf("Query = %d, want 10", got)
+	}
+	a.Update(0, 2, 100)
+	if got := a.Query(1); got != 107 {
+		t.Fatalf("Query = %d, want 107", got)
+	}
+	if got := a.Apply(1, 0, func(v uint64) uint64 { return v + 5 }); got != 6 {
+		t.Fatalf("Apply returned %d, want 6", got)
+	}
+	if got := a.Query(0); got != 112 {
+		t.Fatalf("Query = %d, want 112", got)
+	}
+}
+
+// TestSumInvariantUnderTransfers is the f-array's atomicity witness: each
+// writer repeatedly adds 1 to a component and then subtracts 1 from the
+// same component, so at any instant the true sum is base plus the number
+// of writers currently between their two operations. A Sum query must
+// therefore always land in [base, base+writers]; anything outside means a
+// torn aggregate.
+func TestSumInvariantUnderTransfers(t *testing.T) {
+	const (
+		writers = 3
+		m       = 6
+		base    = 600
+	)
+	initial := make([]uint64, m)
+	for i := range initial {
+		initial[i] = base / m
+	}
+	a, err := New(factory(t), writers+1, m, Sum, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		wg   sync.WaitGroup
+		stop atomic.Bool
+	)
+	for p := 0; p < writers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				comp := (p + i) % m
+				// +1 on one component, then -1 on the same component:
+				// between the two the sum is base+1, never anything else.
+				a.Apply(p, comp, func(v uint64) uint64 { return v + 1 })
+				a.Apply(p, comp, func(v uint64) uint64 { return v - 1 })
+			}
+		}(p)
+	}
+	for i := 0; i < 2000; i++ {
+		got := a.Query(writers)
+		if got < base || got > base+writers {
+			t.Fatalf("query %d: sum = %d, want in [%d,%d]", i, got, base, base+writers)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestMaxMonotone: with writers only ever increasing their component, the
+// Max query must be non-decreasing across sequential queries.
+func TestMaxMonotone(t *testing.T) {
+	const writers = 3
+	a, err := New(factory(t), writers+1, writers, Max, make([]uint64, writers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		wg   sync.WaitGroup
+		stop atomic.Bool
+	)
+	for p := 0; p < writers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := uint64(1); !stop.Load(); i++ {
+				a.Update(p, p, i)
+			}
+		}(p)
+	}
+	prev := uint64(0)
+	for i := 0; i < 3000; i++ {
+		got := a.Query(writers)
+		if got < prev {
+			t.Fatalf("max went backwards: %d after %d", got, prev)
+		}
+		prev = got
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+func TestValidation(t *testing.T) {
+	f := factory(t)
+	if _, err := New(f, 1, 0, Sum, nil); err == nil {
+		t.Error("accepted 0 components")
+	}
+	if _, err := New(f, 1, 2, nil, []uint64{0, 0}); err == nil {
+		t.Error("accepted nil aggregate")
+	}
+	if _, err := New(f, 1, 2, Sum, []uint64{0}); err == nil {
+		t.Error("accepted short initial")
+	}
+	a, err := New(f, 1, 2, Sum, []uint64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPanics(t, "update range", func() { a.Update(0, 2, 1) })
+	assertPanics(t, "apply range", func() { a.Apply(0, -1, func(v uint64) uint64 { return v }) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,61 @@
+// Package mwcas derives a multi-word compare-and-swap and an atomic
+// multi-word read from the multiword LL/SC variable — the classic
+// LL/manipulate/SC recipe from the paper's introduction, lifted to W words.
+package mwcas
+
+import (
+	"fmt"
+
+	"mwllsc/internal/mwobj"
+)
+
+// MWCAS is a W-word compare-and-swap object for N processes.
+type MWCAS struct {
+	obj   mwobj.MW
+	local []casLocal
+}
+
+type casLocal struct {
+	cur []uint64
+	_   [40]byte
+}
+
+// New builds an MWCAS over an object from f.
+func New(f mwobj.Factory, n, w int, initial []uint64) (*MWCAS, error) {
+	obj, err := f(n, w, initial)
+	if err != nil {
+		return nil, fmt.Errorf("mwcas: %w", err)
+	}
+	m := &MWCAS{obj: obj, local: make([]casLocal, n)}
+	for p := range m.local {
+		m.local[p].cur = make([]uint64, w)
+	}
+	return m, nil
+}
+
+// W returns the value width in words.
+func (m *MWCAS) W() int { return m.obj.W() }
+
+// Read copies the current value into dst. Wait-free, O(W).
+func (m *MWCAS) Read(p int, dst []uint64) {
+	m.obj.LL(p, dst)
+}
+
+// CompareAndSwap atomically replaces the value with new iff it currently
+// equals expected, reporting whether it did. Lock-free: an SC failure
+// triggers a re-read, and the operation only retries while the value keeps
+// being changed back to expected by others.
+func (m *MWCAS) CompareAndSwap(p int, expected, new []uint64) bool {
+	cur := m.local[p].cur
+	for {
+		m.obj.LL(p, cur)
+		for i := range cur {
+			if cur[i] != expected[i] {
+				return false
+			}
+		}
+		if m.obj.SC(p, new) {
+			return true
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package mwcas
+
+import (
+	"sync"
+	"testing"
+
+	"mwllsc/internal/impls"
+	"mwllsc/internal/mwobj"
+)
+
+func factory(t *testing.T) mwobj.Factory {
+	t.Helper()
+	f, err := impls.ByName(impls.JP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestSequentialCAS(t *testing.T) {
+	m, err := New(factory(t), 2, 3, []uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.W() != 3 {
+		t.Fatalf("W = %d", m.W())
+	}
+	if m.CompareAndSwap(0, []uint64{9, 9, 9}, []uint64{0, 0, 0}) {
+		t.Fatal("CAS with wrong expected succeeded")
+	}
+	if !m.CompareAndSwap(0, []uint64{1, 2, 3}, []uint64{4, 5, 6}) {
+		t.Fatal("CAS with right expected failed")
+	}
+	got := make([]uint64, 3)
+	m.Read(1, got)
+	if got[0] != 4 || got[1] != 5 || got[2] != 6 {
+		t.Fatalf("value = %v", got)
+	}
+}
+
+// TestConcurrentChainedCAS: processes CAS the vector from k to k+1 (all
+// words equal); exactly one process wins each generation, so the number of
+// total wins equals the final generation.
+func TestConcurrentChainedCAS(t *testing.T) {
+	const (
+		n      = 6
+		rounds = 300
+	)
+	m, err := New(factory(t), n, 4, make([]uint64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wins := make([]int64, n)
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			cur := make([]uint64, 4)
+			next := make([]uint64, 4)
+			for i := 0; i < rounds; i++ {
+				m.Read(p, cur)
+				k := cur[0]
+				for j := range cur {
+					cur[j] = k
+					next[j] = k + 1
+				}
+				if m.CompareAndSwap(p, cur, next) {
+					wins[p]++
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	var total int64
+	for _, w := range wins {
+		total += w
+	}
+	got := make([]uint64, 4)
+	m.Read(0, got)
+	for j := 1; j < 4; j++ {
+		if got[j] != got[0] {
+			t.Fatalf("torn final value %v", got)
+		}
+	}
+	if int64(got[0]) != total {
+		t.Fatalf("final generation %d != total wins %d", got[0], total)
+	}
+}
+
+func TestCASFailureLeavesValue(t *testing.T) {
+	m, err := New(factory(t), 2, 2, []uint64{7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CompareAndSwap(0, []uint64{7, 9}, []uint64{0, 0}) {
+		t.Fatal("partial-match CAS succeeded")
+	}
+	got := make([]uint64, 2)
+	m.Read(0, got)
+	if got[0] != 7 || got[1] != 8 {
+		t.Fatalf("failed CAS changed value: %v", got)
+	}
+}

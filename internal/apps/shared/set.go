@@ -1,0 +1,100 @@
+package shared
+
+import (
+	"fmt"
+
+	"mwllsc/internal/apps/universal"
+	"mwllsc/internal/mwobj"
+)
+
+// Set is a bounded, wait-free, linearizable set of uint64 values (each
+// below 2^62). State layout: [size, slots[cap]] where occupied slots hold
+// value+1 (0 marks an empty slot), so membership is a linear scan — fine
+// for the small capacities a W-word variable holds.
+type Set struct {
+	u   *universal.WaitFree
+	cap int
+}
+
+// NewSet builds a set with the given capacity for n processes, using f for
+// the underlying multiword LL/SC object.
+func NewSet(f mwobj.Factory, n, capacity int) (*Set, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("shared: set capacity must be >= 1, got %d", capacity)
+	}
+	u, err := universal.NewWaitFree(f, n, 1+capacity, make([]uint64, 1+capacity))
+	if err != nil {
+		return nil, err
+	}
+	return &Set{u: u, cap: capacity}, nil
+}
+
+func checkSetValue(v uint64) {
+	if v >= 1<<62 {
+		panic("shared: set values must be below 2^62")
+	}
+}
+
+// Add inserts v as process p; it returns false if v was already present or
+// the set is full.
+func (s *Set) Add(p int, v uint64) bool {
+	checkSetValue(v)
+	r := s.u.Apply(p, func(st []uint64) uint64 {
+		free := -1
+		for i := 1; i < len(st); i++ {
+			switch st[i] {
+			case v + 1:
+				return respOK(false, 0) // already present
+			case 0:
+				if free < 0 {
+					free = i
+				}
+			}
+		}
+		if free < 0 {
+			return respOK(false, 0) // full
+		}
+		st[free] = v + 1
+		st[0]++
+		return respOK(true, 0)
+	})
+	_, ok := respUnpack(r)
+	return ok
+}
+
+// Remove deletes v as process p, reporting whether it was present.
+func (s *Set) Remove(p int, v uint64) bool {
+	checkSetValue(v)
+	r := s.u.Apply(p, func(st []uint64) uint64 {
+		for i := 1; i < len(st); i++ {
+			if st[i] == v+1 {
+				st[i] = 0
+				st[0]--
+				return respOK(true, 0)
+			}
+		}
+		return respOK(false, 0)
+	})
+	_, ok := respUnpack(r)
+	return ok
+}
+
+// Contains reports membership of v via a wait-free atomic read by p.
+func (s *Set) Contains(p int, v uint64) bool {
+	checkSetValue(v)
+	st := make([]uint64, s.u.StateWidth())
+	s.u.Read(p, st)
+	for i := 1; i < len(st); i++ {
+		if st[i] == v+1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the current cardinality (a wait-free read by p).
+func (s *Set) Len(p int) int {
+	st := make([]uint64, s.u.StateWidth())
+	s.u.Read(p, st)
+	return int(st[0])
+}

@@ -1,0 +1,101 @@
+package shared
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSetSequential(t *testing.T) {
+	s, err := NewSet(factory(t), 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains(0, 7) {
+		t.Fatal("empty set contains 7")
+	}
+	if !s.Add(0, 7) {
+		t.Fatal("add 7 failed")
+	}
+	if s.Add(0, 7) {
+		t.Fatal("duplicate add succeeded")
+	}
+	if !s.Contains(1, 7) {
+		t.Fatal("set does not contain 7")
+	}
+	if !s.Add(0, 8) || !s.Add(0, 9) {
+		t.Fatal("fill failed")
+	}
+	if s.Add(0, 10) {
+		t.Fatal("add to full set succeeded")
+	}
+	if got := s.Len(1); got != 3 {
+		t.Fatalf("Len = %d", got)
+	}
+	if !s.Remove(1, 8) {
+		t.Fatal("remove failed")
+	}
+	if s.Remove(1, 8) {
+		t.Fatal("double remove succeeded")
+	}
+	if !s.Add(0, 10) {
+		t.Fatal("add after remove failed")
+	}
+}
+
+// TestSetConcurrentUniqueInsert: many processes race to add the same
+// values; each value must be admitted exactly once.
+func TestSetConcurrentUniqueInsert(t *testing.T) {
+	const (
+		n      = 6
+		values = 32
+	)
+	s, err := NewSet(factory(t), n, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	admitted := make([]int, n)
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for v := uint64(0); v < values; v++ {
+				if s.Add(p, v) {
+					admitted[p]++
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	total := 0
+	for _, a := range admitted {
+		total += a
+	}
+	if total != values {
+		t.Fatalf("%d successful adds across processes, want exactly %d", total, values)
+	}
+	if got := s.Len(0); got != values {
+		t.Fatalf("Len = %d, want %d", got, values)
+	}
+	for v := uint64(0); v < values; v++ {
+		if !s.Contains(0, v) {
+			t.Fatalf("value %d missing", v)
+		}
+	}
+}
+
+func TestSetValidation(t *testing.T) {
+	if _, err := NewSet(factory(t), 1, 0); err == nil {
+		t.Fatal("accepted capacity 0")
+	}
+	s, err := NewSet(factory(t), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversize value accepted")
+		}
+	}()
+	s.Add(0, 1<<62)
+}

@@ -1,0 +1,181 @@
+// Package shared provides concrete wait-free shared objects — a bounded
+// FIFO queue, a bounded stack, and a counter — built on the wait-free
+// universal construction over the multiword LL/SC variable. They are the
+// "shared data structures (queues, stacks, counters)" of the paper's first
+// paragraph, realized end-to-end on the paper's primitive.
+//
+// All values stored in the queue and stack must fit in 63 bits (the top
+// bit of the response word carries the ok flag).
+package shared
+
+import (
+	"fmt"
+
+	"mwllsc/internal/apps/universal"
+	"mwllsc/internal/mwobj"
+)
+
+// respOK packs (ok, value) into a response word.
+func respOK(ok bool, v uint64) uint64 {
+	if ok {
+		return 1<<63 | v
+	}
+	return 0
+}
+
+func respUnpack(r uint64) (uint64, bool) {
+	return r &^ (1 << 63), r>>63 == 1
+}
+
+// Queue is a bounded, wait-free, linearizable FIFO queue shared by N
+// processes. State layout: [head, size, ring[cap]].
+type Queue struct {
+	u   *universal.WaitFree
+	cap int
+}
+
+// NewQueue builds a queue with the given capacity for n processes, using f
+// for the underlying multiword LL/SC object.
+func NewQueue(f mwobj.Factory, n, capacity int) (*Queue, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("shared: queue capacity must be >= 1, got %d", capacity)
+	}
+	u, err := universal.NewWaitFree(f, n, 2+capacity, make([]uint64, 2+capacity))
+	if err != nil {
+		return nil, err
+	}
+	return &Queue{u: u, cap: capacity}, nil
+}
+
+// Enqueue appends v as process p, returning false if the queue is full.
+// v must fit in 63 bits.
+func (q *Queue) Enqueue(p int, v uint64) bool {
+	if v >= 1<<63 {
+		panic("shared: queue values must fit in 63 bits")
+	}
+	c := uint64(q.cap)
+	r := q.u.Apply(p, func(s []uint64) uint64 {
+		head, size := s[0], s[1]
+		if size == c {
+			return respOK(false, 0)
+		}
+		s[2+int((head+size)%c)] = v
+		s[1] = size + 1
+		return respOK(true, 0)
+	})
+	_, ok := respUnpack(r)
+	return ok
+}
+
+// Dequeue removes and returns the oldest element as process p; ok is false
+// if the queue was empty.
+func (q *Queue) Dequeue(p int) (v uint64, ok bool) {
+	c := uint64(q.cap)
+	r := q.u.Apply(p, func(s []uint64) uint64 {
+		head, size := s[0], s[1]
+		if size == 0 {
+			return respOK(false, 0)
+		}
+		v := s[2+int(head%c)]
+		s[0] = (head + 1) % c
+		s[1] = size - 1
+		return respOK(true, v)
+	})
+	return respUnpack(r)
+}
+
+// Len returns the current number of elements (a wait-free read by p).
+func (q *Queue) Len(p int) int {
+	s := make([]uint64, q.u.StateWidth())
+	q.u.Read(p, s)
+	return int(s[1])
+}
+
+// Stack is a bounded, wait-free, linearizable LIFO stack shared by N
+// processes. State layout: [top, items[cap]].
+type Stack struct {
+	u   *universal.WaitFree
+	cap int
+}
+
+// NewStack builds a stack with the given capacity for n processes.
+func NewStack(f mwobj.Factory, n, capacity int) (*Stack, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("shared: stack capacity must be >= 1, got %d", capacity)
+	}
+	u, err := universal.NewWaitFree(f, n, 1+capacity, make([]uint64, 1+capacity))
+	if err != nil {
+		return nil, err
+	}
+	return &Stack{u: u, cap: capacity}, nil
+}
+
+// Push adds v as process p, returning false if the stack is full. v must
+// fit in 63 bits.
+func (s *Stack) Push(p int, v uint64) bool {
+	if v >= 1<<63 {
+		panic("shared: stack values must fit in 63 bits")
+	}
+	c := uint64(s.cap)
+	r := s.u.Apply(p, func(st []uint64) uint64 {
+		if st[0] == c {
+			return respOK(false, 0)
+		}
+		st[1+st[0]] = v
+		st[0]++
+		return respOK(true, 0)
+	})
+	_, ok := respUnpack(r)
+	return ok
+}
+
+// Pop removes and returns the newest element as process p; ok is false if
+// the stack was empty.
+func (s *Stack) Pop(p int) (v uint64, ok bool) {
+	r := s.u.Apply(p, func(st []uint64) uint64 {
+		if st[0] == 0 {
+			return respOK(false, 0)
+		}
+		st[0]--
+		return respOK(true, st[1+st[0]])
+	})
+	return respUnpack(r)
+}
+
+// Len returns the current depth (a wait-free read by p).
+func (s *Stack) Len(p int) int {
+	st := make([]uint64, s.u.StateWidth())
+	s.u.Read(p, st)
+	return int(st[0])
+}
+
+// Counter is a wait-free, linearizable fetch-and-add counter — the paper's
+// own introductory example of what LL/SC makes trivial.
+type Counter struct {
+	u *universal.WaitFree
+}
+
+// NewCounter builds a counter for n processes starting at initial.
+func NewCounter(f mwobj.Factory, n int, initial uint64) (*Counter, error) {
+	u, err := universal.NewWaitFree(f, n, 1, []uint64{initial})
+	if err != nil {
+		return nil, err
+	}
+	return &Counter{u: u}, nil
+}
+
+// FetchAdd adds delta as process p and returns the counter's previous value.
+func (c *Counter) FetchAdd(p int, delta uint64) uint64 {
+	return c.u.Apply(p, func(s []uint64) uint64 {
+		old := s[0]
+		s[0] = old + delta
+		return old
+	})
+}
+
+// Load returns the current value (a wait-free read by p).
+func (c *Counter) Load(p int) uint64 {
+	s := make([]uint64, 1)
+	c.u.Read(p, s)
+	return s[0]
+}

@@ -1,0 +1,326 @@
+package shared
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"mwllsc/internal/impls"
+	"mwllsc/internal/mwobj"
+)
+
+func factory(t *testing.T) mwobj.Factory {
+	t.Helper()
+	f, err := impls.ByName(impls.JP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestQueueFIFOSequential(t *testing.T) {
+	q, err := NewQueue(factory(t), 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.Dequeue(0); ok {
+		t.Fatal("dequeue from empty queue succeeded")
+	}
+	for i := uint64(1); i <= 4; i++ {
+		if !q.Enqueue(0, i*10) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	if q.Enqueue(0, 99) {
+		t.Fatal("enqueue into full queue succeeded")
+	}
+	if got := q.Len(1); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	for i := uint64(1); i <= 4; i++ {
+		v, ok := q.Dequeue(1)
+		if !ok || v != i*10 {
+			t.Fatalf("dequeue %d: got (%d,%v), want (%d,true)", i, v, ok, i*10)
+		}
+	}
+	if got := q.Len(0); got != 0 {
+		t.Fatalf("Len = %d, want 0", got)
+	}
+}
+
+func TestQueueWrapsAround(t *testing.T) {
+	q, err := NewQueue(factory(t), 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 10; round++ {
+		for i := uint64(0); i < 3; i++ {
+			if !q.Enqueue(0, uint64(round)*100+i) {
+				t.Fatalf("round %d: enqueue failed", round)
+			}
+		}
+		for i := uint64(0); i < 3; i++ {
+			v, ok := q.Dequeue(0)
+			if !ok || v != uint64(round)*100+i {
+				t.Fatalf("round %d: dequeue got (%d,%v)", round, v, ok)
+			}
+		}
+	}
+}
+
+// TestQueueConcurrentConservation checks element conservation under
+// concurrent enqueues and dequeues: everything dequeued was enqueued
+// exactly once, and nothing vanishes.
+func TestQueueConcurrentConservation(t *testing.T) {
+	const (
+		producers = 3
+		consumers = 3
+		perProd   = 300
+	)
+	q, err := NewQueue(factory(t), producers+consumers, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		wg       sync.WaitGroup
+		consumed = make([][]uint64, consumers)
+	)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; {
+				if q.Enqueue(p, uint64(p*perProd+i+1)) {
+					i++
+				} else {
+					runtime.Gosched() // queue full; let consumers run
+				}
+			}
+		}(p)
+	}
+	var done sync.WaitGroup
+	stop := make(chan struct{})
+	for c := 0; c < consumers; c++ {
+		done.Add(1)
+		go func(c int) {
+			defer done.Done()
+			pid := producers + c
+			for {
+				if v, ok := q.Dequeue(pid); ok {
+					consumed[c] = append(consumed[c], v)
+					continue
+				}
+				runtime.Gosched() // queue empty; let producers run
+				select {
+				case <-stop:
+					// Drain what's left after producers stopped.
+					for {
+						v, ok := q.Dequeue(pid)
+						if !ok {
+							return
+						}
+						consumed[c] = append(consumed[c], v)
+					}
+				default:
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(stop)
+	done.Wait()
+
+	seen := make(map[uint64]bool, producers*perProd)
+	for _, vs := range consumed {
+		for _, v := range vs {
+			if seen[v] {
+				t.Fatalf("value %d dequeued twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != producers*perProd {
+		t.Fatalf("consumed %d values, want %d", len(seen), producers*perProd)
+	}
+}
+
+// TestQueuePerProducerOrder: FIFO implies each producer's values come out
+// in the order it enqueued them (when a single consumer drains).
+func TestQueuePerProducerOrder(t *testing.T) {
+	const perProd = 200
+	q, err := NewQueue(factory(t), 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; {
+				if q.Enqueue(p, uint64(p)<<32|uint64(i)) {
+					i++
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	lastSeen := map[uint64]int64{0: -1, 1: -1}
+	got := 0
+	for got < 2*perProd {
+		v, ok := q.Dequeue(2)
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		producer, idx := v>>32, int64(v&0xffffffff)
+		if idx <= lastSeen[producer] {
+			t.Fatalf("producer %d: value %d arrived after %d", producer, idx, lastSeen[producer])
+		}
+		lastSeen[producer] = idx
+		got++
+	}
+	wg.Wait()
+}
+
+func TestStackLIFO(t *testing.T) {
+	s, err := NewStack(factory(t), 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Pop(0); ok {
+		t.Fatal("pop from empty stack succeeded")
+	}
+	for i := uint64(1); i <= 3; i++ {
+		if !s.Push(0, i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if s.Push(0, 4) {
+		t.Fatal("push onto full stack succeeded")
+	}
+	if got := s.Len(1); got != 3 {
+		t.Fatalf("Len = %d", got)
+	}
+	for i := uint64(3); i >= 1; i-- {
+		v, ok := s.Pop(1)
+		if !ok || v != i {
+			t.Fatalf("pop: got (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+}
+
+// TestStackConcurrentConservation: pushes and pops conserve elements.
+func TestStackConcurrentConservation(t *testing.T) {
+	const n = 4
+	s, err := NewStack(factory(t), n, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	popped := make([][]uint64, n)
+	const perProc = 200
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProc; i++ {
+				v := uint64(p*perProc + i + 1)
+				for !s.Push(p, v) {
+				}
+				if x, ok := s.Pop(p); ok {
+					popped[p] = append(popped[p], x)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	seen := map[uint64]bool{}
+	total := 0
+	for _, vs := range popped {
+		for _, v := range vs {
+			if seen[v] {
+				t.Fatalf("value %d popped twice", v)
+			}
+			seen[v] = true
+			total++
+		}
+	}
+	// Whatever was not popped must still be on the stack.
+	rest := s.Len(0)
+	if total+rest != n*perProc {
+		t.Fatalf("popped %d + remaining %d != pushed %d", total, rest, n*perProc)
+	}
+}
+
+func TestCounterFetchAdd(t *testing.T) {
+	c, err := NewCounter(factory(t), 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.FetchAdd(0, 5); got != 100 {
+		t.Fatalf("FetchAdd returned %d, want 100", got)
+	}
+	if got := c.Load(1); got != 105 {
+		t.Fatalf("Load = %d, want 105", got)
+	}
+}
+
+func TestCounterConcurrentUnique(t *testing.T) {
+	const (
+		n   = 8
+		ops = 500
+	)
+	c, err := NewCounter(factory(t), n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	results := make([][]uint64, n)
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				results[p] = append(results[p], c.FetchAdd(p, 1))
+			}
+		}(p)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool, n*ops)
+	for _, rs := range results {
+		for _, r := range rs {
+			if seen[r] {
+				t.Fatalf("fetch-and-add handed out %d twice", r)
+			}
+			seen[r] = true
+		}
+	}
+	if got := c.Load(0); got != n*ops {
+		t.Fatalf("final = %d, want %d", got, n*ops)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	f := factory(t)
+	if _, err := NewQueue(f, 2, 0); err == nil {
+		t.Error("queue accepted capacity 0")
+	}
+	if _, err := NewStack(f, 2, 0); err == nil {
+		t.Error("stack accepted capacity 0")
+	}
+}
+
+func TestOversizeValuesPanic(t *testing.T) {
+	q, err := NewQueue(factory(t), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("queue accepted a 64-bit value")
+		}
+	}()
+	q.Enqueue(0, 1<<63)
+}

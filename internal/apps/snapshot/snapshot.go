@@ -1,0 +1,119 @@
+// Package snapshot implements an atomic multi-writer snapshot object over
+// the multiword LL/SC variable — the application family behind the paper's
+// citations [12, 13] (Jayanti's f-arrays and multi-writer snapshots), which
+// consume a W-word LL/SC object as their underlying primitive and therefore
+// inherit the paper's factor-N space improvement.
+//
+// The object holds C components. Scan is a single multiword LL: wait-free
+// and O(C), which is exactly the property that makes the multiword LL/SC
+// primitive attractive for snapshots. Two update disciplines are offered:
+//
+//   - Snapshot.Update: LL/modify/SC retry — lock-free (an updater can be
+//     starved by other updaters, but the system always progresses).
+//   - WFSnapshot.Update: routed through the wait-free universal
+//     construction — every update completes in a bounded number of steps.
+package snapshot
+
+import (
+	"fmt"
+
+	"mwllsc/internal/apps/universal"
+	"mwllsc/internal/mwobj"
+)
+
+// Snapshot is a C-component multi-writer snapshot with wait-free scans and
+// lock-free updates.
+type Snapshot struct {
+	obj   mwobj.MW
+	c     int
+	local []snapLocal
+}
+
+type snapLocal struct {
+	scratch []uint64
+	_       [40]byte
+}
+
+// New builds a snapshot with components initialized to initial (len C),
+// shared by n processes, over an object from f.
+func New(f mwobj.Factory, n, c int, initial []uint64) (*Snapshot, error) {
+	if c < 1 {
+		return nil, fmt.Errorf("snapshot: need >= 1 component, got %d", c)
+	}
+	if len(initial) != c {
+		return nil, fmt.Errorf("snapshot: initial has %d components, want %d", len(initial), c)
+	}
+	obj, err := f(n, c, initial)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	s := &Snapshot{obj: obj, c: c, local: make([]snapLocal, n)}
+	for p := range s.local {
+		s.local[p].scratch = make([]uint64, c)
+	}
+	return s, nil
+}
+
+// Components returns C.
+func (s *Snapshot) Components() int { return s.c }
+
+// Scan copies an atomic snapshot of all components into dst (len C).
+// Wait-free, O(C): a single multiword LL.
+func (s *Snapshot) Scan(p int, dst []uint64) {
+	s.obj.LL(p, dst)
+}
+
+// Update atomically sets component i to v as process p. Lock-free.
+func (s *Snapshot) Update(p, i int, v uint64) {
+	if i < 0 || i >= s.c {
+		panic(fmt.Sprintf("snapshot: component %d out of range [0,%d)", i, s.c))
+	}
+	scratch := s.local[p].scratch
+	for {
+		s.obj.LL(p, scratch)
+		scratch[i] = v
+		if s.obj.SC(p, scratch) {
+			return
+		}
+	}
+}
+
+// WFSnapshot is a C-component snapshot with wait-free scans and wait-free
+// updates, built on the helping universal construction.
+type WFSnapshot struct {
+	u *universal.WaitFree
+	c int
+}
+
+// NewWF builds a wait-free snapshot with components initialized to initial
+// (len C), shared by n processes, over an object from f.
+func NewWF(f mwobj.Factory, n, c int, initial []uint64) (*WFSnapshot, error) {
+	if c < 1 {
+		return nil, fmt.Errorf("snapshot: need >= 1 component, got %d", c)
+	}
+	u, err := universal.NewWaitFree(f, n, c, initial)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	return &WFSnapshot{u: u, c: c}, nil
+}
+
+// Components returns C.
+func (s *WFSnapshot) Components() int { return s.c }
+
+// Scan copies an atomic snapshot of all components into dst (len C).
+// Wait-free.
+func (s *WFSnapshot) Scan(p int, dst []uint64) {
+	s.u.Read(p, dst)
+}
+
+// Update atomically sets component i to v as process p. Wait-free.
+func (s *WFSnapshot) Update(p, i int, v uint64) {
+	if i < 0 || i >= s.c {
+		panic(fmt.Sprintf("snapshot: component %d out of range [0,%d)", i, s.c))
+	}
+	s.u.Apply(p, func(st []uint64) uint64 {
+		st[i] = v
+		return 0
+	})
+}

@@ -1,0 +1,188 @@
+package snapshot
+
+import (
+	"sync"
+	"testing"
+
+	"mwllsc/internal/impls"
+	"mwllsc/internal/mwobj"
+)
+
+func factory(t *testing.T) mwobj.Factory {
+	t.Helper()
+	f, err := impls.ByName(impls.JP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// scanner abstracts the two snapshot variants for shared tests.
+type scanner interface {
+	Scan(p int, dst []uint64)
+	Update(p, i int, v uint64)
+	Components() int
+}
+
+func variants(t *testing.T, n, c int, initial []uint64) map[string]scanner {
+	t.Helper()
+	lf, err := New(factory(t), n, c, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := NewWF(factory(t), n, c, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]scanner{"lockfree-update": lf, "waitfree-update": wf}
+}
+
+func TestSequentialScanUpdate(t *testing.T) {
+	for name, s := range variants(t, 2, 3, []uint64{1, 2, 3}) {
+		t.Run(name, func(t *testing.T) {
+			got := make([]uint64, 3)
+			s.Scan(0, got)
+			if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+				t.Fatalf("initial scan = %v", got)
+			}
+			s.Update(0, 1, 42)
+			s.Scan(1, got)
+			if got[0] != 1 || got[1] != 42 || got[2] != 3 {
+				t.Fatalf("after update = %v", got)
+			}
+			if s.Components() != 3 {
+				t.Fatalf("Components = %d", s.Components())
+			}
+		})
+	}
+}
+
+// TestScanAtomicity is the defining snapshot property: writers keep all
+// components equal (each update round sets its component to the round
+// number in lockstep per writer... here simpler: a single invariant value
+// replicated). Writers write (round) to their own component only after
+// reading that every component is >= their previous round; scanners check
+// components never differ by more than the writer concurrency allows.
+// Stronger and simpler: writers maintain sum parity — every update writes
+// component i with a value tagged by writer and round; scanners verify each
+// component individually monotone: a later scan never observes an older
+// value of the same component than an earlier scan did.
+func TestScanMonotonicity(t *testing.T) {
+	const (
+		writers = 3
+		scans   = 400
+		c       = writers
+	)
+	for name, s := range variants(t, writers+1, c, make([]uint64, c)) {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			for p := 0; p < writers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for i := uint64(1); ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+							s.Update(p, p, i)
+						}
+					}
+				}(p)
+			}
+			prev := make([]uint64, c)
+			cur := make([]uint64, c)
+			for i := 0; i < scans; i++ {
+				s.Scan(writers, cur)
+				for j := range cur {
+					if cur[j] < prev[j] {
+						t.Errorf("scan %d: component %d went backwards: %d < %d",
+							i, j, cur[j], prev[j])
+					}
+				}
+				copy(prev, cur)
+			}
+			close(stop)
+			wg.Wait()
+		})
+	}
+}
+
+// TestScanNeverTears: writers update pairs of components together (comp 0
+// and comp 1 always move in lockstep: comp1 = comp0 * 2); any scan must see
+// the pair consistent.
+func TestScanNeverTears(t *testing.T) {
+	const n = 4
+	lf, err := New(factory(t), n, 2, []uint64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Use the raw multiword update through the object: Update writes a
+	// single component, so for the pair invariant use WF apply-style
+	// updates via two single-component updates... instead, test with the
+	// underlying LL/SC loop directly through Snapshot's own object by
+	// alternating single-component updates that preserve the invariant
+	// only pairwise: here we simply spin both components via Update in
+	// sequence and accept either generation, but the *pair* (a, b) must
+	// always satisfy b == a*2 or b == (a-1)*2 — i.e. b/2 lags a by at most
+	// one generation per writer.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for p := 0; p < n-1; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			v := make([]uint64, 2)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					// Atomic pairwise update via the lock-free LL/SC loop.
+					lf.Scan(p, v)
+					_ = v
+					lf.obj.LL(p, v)
+					v[0]++
+					v[1] = v[0] * 2
+					lf.obj.SC(p, v)
+				}
+			}
+		}(p)
+	}
+	buf := make([]uint64, 2)
+	for i := 0; i < 1000; i++ {
+		lf.Scan(n-1, buf)
+		if buf[1] != buf[0]*2 {
+			t.Fatalf("torn snapshot: %v", buf)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestUpdateBoundsChecked(t *testing.T) {
+	for name, s := range variants(t, 1, 2, []uint64{0, 0}) {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range component accepted")
+				}
+			}()
+			s.Update(0, 2, 1)
+		})
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	f := factory(t)
+	if _, err := New(f, 1, 0, nil); err == nil {
+		t.Error("accepted 0 components")
+	}
+	if _, err := New(f, 1, 2, []uint64{1}); err == nil {
+		t.Error("accepted short initial")
+	}
+	if _, err := NewWF(f, 1, 0, nil); err == nil {
+		t.Error("WF accepted 0 components")
+	}
+}

@@ -1,0 +1,82 @@
+package universal
+
+import (
+	"sync"
+	"testing"
+
+	"mwllsc/internal/impls"
+)
+
+// Ablation: the lock-free retry loop vs the wait-free helping construction.
+// Helping costs a fold over N announcement slots per attempt; the benefit
+// is the bounded step count. Uncontended and contended variants.
+func BenchmarkApplyUncontended(b *testing.B) {
+	f, err := impls.ByName(impls.JP)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inc := func(s []uint64) uint64 { s[0]++; return s[0] }
+
+	b.Run("lockfree", func(b *testing.B) {
+		obj, err := f(4, 1, []uint64{0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		u := NewLockFree(obj)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			u.Apply(0, inc)
+		}
+	})
+	b.Run("waitfree", func(b *testing.B) {
+		u, err := NewWaitFree(f, 4, 1, []uint64{0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			u.Apply(0, inc)
+		}
+	})
+}
+
+func BenchmarkApplyContended(b *testing.B) {
+	f, err := impls.ByName(impls.JP)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inc := func(s []uint64) uint64 { s[0]++; return s[0] }
+	const g = 4
+
+	runWith := func(b *testing.B, apply func(p int)) {
+		var wg sync.WaitGroup
+		per := b.N/g + 1
+		b.ResetTimer()
+		for p := 0; p < g; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					apply(p)
+				}
+			}(p)
+		}
+		wg.Wait()
+	}
+
+	b.Run("lockfree", func(b *testing.B) {
+		obj, err := f(g, 1, []uint64{0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		u := NewLockFree(obj)
+		runWith(b, func(p int) { u.Apply(p, inc) })
+	})
+	b.Run("waitfree", func(b *testing.B) {
+		u, err := NewWaitFree(f, g, 1, []uint64{0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		runWith(b, func(p int) { u.Apply(p, inc) })
+	})
+}

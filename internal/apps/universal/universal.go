@@ -1,0 +1,199 @@
+// Package universal implements universal constructions over a multiword
+// LL/SC object: any sequential object whose state fits in a fixed number of
+// 64-bit words becomes a linearizable shared object. This is the first
+// application family the paper's introduction cites (Anderson & Moir's
+// universal constructions [1]): the multiword LL/SC variable is exactly the
+// primitive those constructions consume, and by the paper's result their
+// space cost drops by a factor of N.
+//
+// Two variants are provided:
+//
+//   - LockFree: the classic LL -> apply -> SC retry loop. Individual
+//     operations can starve (lock-free, not wait-free), but the system
+//     always makes progress.
+//   - WaitFree: operations are announced; every attempt folds all pending
+//     announced operations of all processes into its proposed state, so
+//     after at most two failed SCs the caller's operation has been applied
+//     by somebody (Herlihy-style helping). Every Apply finishes in a
+//     bounded number of steps.
+//
+// Operations must be deterministic pure functions of the state: a helper
+// may execute an operation on a proposal that never gets installed, so side
+// effects would be duplicated.
+package universal
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"mwllsc/internal/mwobj"
+)
+
+// Op mutates a state vector in place and returns a response word. It must
+// be deterministic and side-effect free; it may be executed several times
+// on speculative copies of the state.
+type Op func(state []uint64) (response uint64)
+
+// LockFree is the retry-loop universal construction.
+type LockFree struct {
+	obj   mwobj.MW
+	local []lfLocal
+}
+
+type lfLocal struct {
+	cur []uint64
+	_   [40]byte
+}
+
+// NewLockFree wraps obj; the object's full width is the user state.
+func NewLockFree(obj mwobj.MW) *LockFree {
+	u := &LockFree{obj: obj, local: make([]lfLocal, obj.N())}
+	for p := range u.local {
+		u.local[p].cur = make([]uint64, obj.W())
+	}
+	return u
+}
+
+// StateWidth returns the user state width in words.
+func (u *LockFree) StateWidth() int { return u.obj.W() }
+
+// Apply runs op atomically on the shared state as process p and returns
+// its response. Lock-free: retries until its SC lands.
+func (u *LockFree) Apply(p int, op Op) uint64 {
+	cur := u.local[p].cur
+	for {
+		u.obj.LL(p, cur)
+		resp := op(cur)
+		if u.obj.SC(p, cur) {
+			return resp
+		}
+	}
+}
+
+// Read returns the current state into dst. Wait-free (a single LL).
+func (u *LockFree) Read(p int, dst []uint64) {
+	u.obj.LL(p, dst)
+}
+
+// WaitFree is the helping universal construction. The shared state layout
+// is [appliedCount[0..n-1] | response[0..n-1] | user state], so the object
+// width is 2N + StateWidth words.
+type WaitFree struct {
+	obj      mwobj.MW
+	n, uw    int
+	announce []announceSlot
+	local    []wfLocal
+}
+
+type announceSlot struct {
+	ptr atomic.Pointer[annOp]
+	_   [56]byte
+}
+
+// annOp is an announced operation: it asks to be applied as the seq-th
+// operation of its announcing process.
+type annOp struct {
+	seq uint64
+	op  Op
+}
+
+type wfLocal struct {
+	seq     uint64
+	cur     []uint64
+	propose []uint64
+	_       [40]byte
+}
+
+// NewWaitFree builds a WaitFree universal object for n processes with a
+// uw-word user state initialized to initialState, allocating the underlying
+// multiword LL/SC object via f.
+func NewWaitFree(f mwobj.Factory, n, uw int, initialState []uint64) (*WaitFree, error) {
+	if len(initialState) != uw {
+		return nil, fmt.Errorf("universal: initial state has %d words, want %d", len(initialState), uw)
+	}
+	w := 2*n + uw
+	initial := make([]uint64, w)
+	copy(initial[2*n:], initialState)
+	obj, err := f(n, w, initial)
+	if err != nil {
+		return nil, fmt.Errorf("universal: %w", err)
+	}
+	u := &WaitFree{
+		obj:      obj,
+		n:        n,
+		uw:       uw,
+		announce: make([]announceSlot, n),
+		local:    make([]wfLocal, n),
+	}
+	for p := range u.local {
+		u.local[p].cur = make([]uint64, w)
+		u.local[p].propose = make([]uint64, w)
+	}
+	return u, nil
+}
+
+// StateWidth returns the user state width in words.
+func (u *WaitFree) StateWidth() int { return u.uw }
+
+// counts, responses and user views of a full state vector.
+func (u *WaitFree) counts(s []uint64) []uint64    { return s[:u.n] }
+func (u *WaitFree) responses(s []uint64) []uint64 { return s[u.n : 2*u.n] }
+func (u *WaitFree) user(s []uint64) []uint64      { return s[2*u.n:] }
+
+// Apply runs op atomically as process p and returns its response.
+// Wait-free: at most three SC attempts; if they all fail, helping has
+// already applied the operation (any successful SC linked after our
+// announcement folds it in).
+func (u *WaitFree) Apply(p int, op Op) uint64 {
+	lp := &u.local[p]
+	lp.seq++
+	u.announce[p].ptr.Store(&annOp{seq: lp.seq, op: op})
+
+	for attempt := 0; attempt < 3; attempt++ {
+		u.obj.LL(p, lp.cur)
+		if u.counts(lp.cur)[p] >= lp.seq {
+			return u.responses(lp.cur)[p] // somebody helped us
+		}
+		copy(lp.propose, lp.cur)
+		u.fold(lp.propose)
+		if u.obj.SC(p, lp.propose) {
+			return u.responses(lp.propose)[p]
+		}
+	}
+	// Two failed SCs after the announcement imply some successful SC
+	// linked after it, and every such SC folds our operation in.
+	u.obj.LL(p, lp.cur)
+	if u.counts(lp.cur)[p] < lp.seq {
+		panic("universal: helping guarantee violated (op not applied after 3 attempts)")
+	}
+	return u.responses(lp.cur)[p]
+}
+
+// fold applies every announced-but-unapplied operation to the proposal, in
+// process order, updating counts and responses.
+func (u *WaitFree) fold(proposal []uint64) {
+	counts := u.counts(proposal)
+	resps := u.responses(proposal)
+	for q := 0; q < u.n; q++ {
+		a := u.announce[q].ptr.Load()
+		if a != nil && a.seq == counts[q]+1 {
+			resps[q] = a.op(u.user(proposal))
+			counts[q]++
+		}
+	}
+}
+
+// Read copies the current user state into dst (len uw). Wait-free.
+func (u *WaitFree) Read(p int, dst []uint64) {
+	lp := &u.local[p]
+	u.obj.LL(p, lp.cur)
+	copy(dst, u.user(lp.cur))
+}
+
+// Applied returns how many operations of process q have been applied, as
+// seen by a fresh LL of process p. Mainly for tests.
+func (u *WaitFree) Applied(p, q int) uint64 {
+	lp := &u.local[p]
+	u.obj.LL(p, lp.cur)
+	return u.counts(lp.cur)[q]
+}

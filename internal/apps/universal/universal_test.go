@@ -1,0 +1,190 @@
+package universal
+
+import (
+	"sync"
+	"testing"
+
+	"mwllsc/internal/impls"
+	"mwllsc/internal/mwobj"
+)
+
+func factory(t *testing.T) mwobj.Factory {
+	t.Helper()
+	f, err := impls.ByName(impls.JP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func newWF(t *testing.T, n, uw int, initial []uint64) *WaitFree {
+	t.Helper()
+	u, err := NewWaitFree(factory(t), n, uw, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestWaitFreeSequentialApply(t *testing.T) {
+	u := newWF(t, 2, 1, []uint64{10})
+	got := u.Apply(0, func(s []uint64) uint64 {
+		old := s[0]
+		s[0] += 5
+		return old
+	})
+	if got != 10 {
+		t.Fatalf("response = %d, want 10", got)
+	}
+	st := make([]uint64, 1)
+	u.Read(1, st)
+	if st[0] != 15 {
+		t.Fatalf("state = %d, want 15", st[0])
+	}
+	if u.Applied(0, 0) != 1 {
+		t.Fatalf("applied count = %d, want 1", u.Applied(0, 0))
+	}
+}
+
+func TestWaitFreeValidatesInitialState(t *testing.T) {
+	if _, err := NewWaitFree(factory(t), 2, 3, []uint64{0}); err == nil {
+		t.Fatal("accepted wrong-width initial state")
+	}
+}
+
+// TestWaitFreeExactlyOnce is the crucial correctness property of the
+// helping construction: concurrent increments are each applied exactly
+// once, even though helpers may fold them speculatively many times.
+func TestWaitFreeExactlyOnce(t *testing.T) {
+	const (
+		n   = 8
+		ops = 400
+	)
+	u := newWF(t, n, 1, []uint64{0})
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				u.Apply(p, func(s []uint64) uint64 {
+					s[0]++
+					return s[0]
+				})
+			}
+		}(p)
+	}
+	wg.Wait()
+	st := make([]uint64, 1)
+	u.Read(0, st)
+	if st[0] != n*ops {
+		t.Fatalf("counter = %d, want %d (exactly-once application)", st[0], n*ops)
+	}
+	for q := 0; q < n; q++ {
+		if got := u.Applied(0, q); got != ops {
+			t.Fatalf("process %d applied count = %d, want %d", q, got, ops)
+		}
+	}
+}
+
+// TestWaitFreeResponsesAreOwn verifies responses are routed per process:
+// every fetch-and-add response must be unique across all processes.
+func TestWaitFreeResponsesAreOwn(t *testing.T) {
+	const (
+		n   = 6
+		ops = 300
+	)
+	u := newWF(t, n, 1, []uint64{0})
+	responses := make([][]uint64, n)
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				r := u.Apply(p, func(s []uint64) uint64 {
+					old := s[0]
+					s[0]++
+					return old
+				})
+				responses[p] = append(responses[p], r)
+			}
+		}(p)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool, n*ops)
+	for p := range responses {
+		for _, r := range responses[p] {
+			if seen[r] {
+				t.Fatalf("duplicate fetch-and-add response %d", r)
+			}
+			seen[r] = true
+		}
+	}
+	if len(seen) != n*ops {
+		t.Fatalf("got %d distinct responses, want %d", len(seen), n*ops)
+	}
+}
+
+func TestWaitFreeMultiWordState(t *testing.T) {
+	const n = 4
+	// A 4-word vector where ops rotate and increment; checks user-state
+	// slicing against counts/responses regions.
+	u := newWF(t, n, 4, []uint64{1, 2, 3, 4})
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				u.Apply(p, func(s []uint64) uint64 {
+					s[0], s[1], s[2], s[3] = s[3]+1, s[0], s[1], s[2]
+					return 0
+				})
+			}
+		}(p)
+	}
+	wg.Wait()
+	st := make([]uint64, 4)
+	u.Read(0, st)
+	var sum uint64
+	for _, x := range st {
+		sum += x
+	}
+	// Initial sum 10; each of the 800 ops adds exactly 1.
+	if sum != 10+800 {
+		t.Fatalf("state sum = %d, want 810", sum)
+	}
+}
+
+func TestLockFreeApply(t *testing.T) {
+	f := factory(t)
+	obj, err := f(4, 2, []uint64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := NewLockFree(obj)
+	if u.StateWidth() != 2 {
+		t.Fatalf("StateWidth = %d", u.StateWidth())
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				u.Apply(p, func(s []uint64) uint64 {
+					s[0]++
+					s[1] += 2
+					return s[0]
+				})
+			}
+		}(p)
+	}
+	wg.Wait()
+	st := make([]uint64, 2)
+	u.Read(0, st)
+	if st[0] != 2000 || st[1] != 4000 {
+		t.Fatalf("state = %v, want [2000 4000]", st)
+	}
+}

@@ -1,0 +1,18 @@
+// Package baseline provides the comparator implementations of the W-word
+// LL/SC/VL object that the paper's evaluation story is measured against:
+//
+//   - AMStyle: a wait-free, O(W)-time construction with Θ(N²W) space —
+//     the complexity profile of the previous best algorithm (Anderson &
+//     Moir 1995) that the paper improves on by a factor of N. See the
+//     type's documentation and DESIGN.md §4 for the fidelity note.
+//   - GCPtr: what an idiomatic Go programmer would write — CAS on a
+//     pointer to an immutable value slice. Wait-free and O(W), but it
+//     allocates on every SC and leans on the garbage collector for its
+//     buffer management (the paper's setting has no GC; its contribution
+//     is achieving the same bounds with explicit buffer recycling).
+//   - LockMW: a mutex-protected version-counter implementation — the
+//     blocking strawman.
+//
+// All implement mwobj.MW and are exercised by the same conformance suite
+// as the paper's algorithm.
+package baseline

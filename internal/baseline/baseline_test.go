@@ -1,0 +1,146 @@
+package baseline
+
+import (
+	"sync"
+	"testing"
+
+	"mwllsc/internal/mwobj"
+	"mwllsc/internal/mwtest"
+)
+
+func TestAMStyleConformance(t *testing.T) {
+	mwtest.RunConformance(t, func(n, w int, initial []uint64) (mwobj.MW, error) {
+		return NewAMStyle(n, w, initial)
+	})
+}
+
+func TestGCPtrConformance(t *testing.T) {
+	mwtest.RunConformance(t, func(n, w int, initial []uint64) (mwobj.MW, error) {
+		return NewGCPtr(n, w, initial)
+	})
+}
+
+func TestLockMWConformance(t *testing.T) {
+	mwtest.RunConformance(t, func(n, w int, initial []uint64) (mwobj.MW, error) {
+		return NewLockMW(n, w, initial)
+	})
+}
+
+func TestConstructorValidation(t *testing.T) {
+	type ctor func(n, w int, initial []uint64) (mwobj.MW, error)
+	ctors := map[string]ctor{
+		"amstyle": func(n, w int, i []uint64) (mwobj.MW, error) { return NewAMStyle(n, w, i) },
+		"gcptr":   func(n, w int, i []uint64) (mwobj.MW, error) { return NewGCPtr(n, w, i) },
+		"lockmw":  func(n, w int, i []uint64) (mwobj.MW, error) { return NewLockMW(n, w, i) },
+	}
+	for name, c := range ctors {
+		t.Run(name, func(t *testing.T) {
+			if _, err := c(0, 1, []uint64{0}); err == nil {
+				t.Error("accepted n=0")
+			}
+			if _, err := c(1, 0, nil); err == nil {
+				t.Error("accepted w=0")
+			}
+			if _, err := c(2, 3, []uint64{0}); err == nil {
+				t.Error("accepted short initial value")
+			}
+		})
+	}
+}
+
+// TestAMStyleSpaceQuadraticInN checks the baseline has the Θ(N²W) register
+// footprint the paper ascribes to the previous best algorithm: doubling N
+// must quadruple the register words.
+func TestAMStyleSpaceQuadraticInN(t *testing.T) {
+	const w = 16
+	var prev int64
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		o, err := NewAMStyle(n, w, mwtest.Pattern(0, w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		now := o.Space().RegisterWords
+		if want := int64(3*n*n) * int64(w); now != want {
+			t.Fatalf("n=%d: RegisterWords = %d, want %d", n, now, want)
+		}
+		if prev != 0 && now != 4*prev {
+			t.Fatalf("n=%d: register words %d, want exactly 4x previous %d", n, now, prev)
+		}
+		prev = now
+	}
+}
+
+func TestGCPtrAllocatesPerSC(t *testing.T) {
+	o, err := NewGCPtr(1, 8, make([]uint64, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := make([]uint64, 8)
+	avg := testing.AllocsPerRun(100, func() {
+		o.LL(0, v)
+		o.SC(0, v)
+	})
+	if avg < 1 {
+		t.Fatalf("GCPtr allocated %.1f per LL+SC round, expected >= 1 (that is its design cost)", avg)
+	}
+}
+
+// TestAMStyleHelpedPathUnderPressure uses a very wide value so a reader's
+// O(W) copy overlaps many successful SCs, exercising the announcement/help
+// machinery under real concurrency (the analogue of the paper's §2.2
+// scenario). The test asserts semantics, not that helping occurred — real
+// schedulers cannot be forced — but with W=4096 and 2N=6 the helped branch
+// is reached with overwhelming probability.
+func TestAMStyleHelpedPathUnderPressure(t *testing.T) {
+	const (
+		n   = 3
+		w   = 4096
+		ops = 60
+	)
+	o, err := NewAMStyle(n, w, mwtest.Pattern(0, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			v := make([]uint64, w)
+			for i := 0; i < ops; i++ {
+				o.LL(p, v)
+				for j := 0; j < w; j += 511 {
+					if v[j] != v[0]+uint64(j) {
+						t.Errorf("p%d: torn wide read (word %d)", p, j)
+						return
+					}
+				}
+				o.SC(p, mwtest.Pattern(uint64(1+p*ops+i)*8192, w))
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
+// TestLockMWBlockingContrast documents the baseline's nature: it is
+// correct, and nothing here can show blocking in-process — the contrast is
+// measured in benchmarks (E3) where lock convoying appears as throughput
+// collapse.
+func TestLockMWSequential(t *testing.T) {
+	o, err := NewLockMW(2, 1, []uint64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := make([]uint64, 1)
+	o.LL(0, v)
+	if v[0] != 5 || !o.VL(0) {
+		t.Fatal("bad initial read")
+	}
+	if !o.SC(0, []uint64{6}) {
+		t.Fatal("SC failed")
+	}
+	o.LL(1, v)
+	if v[0] != 6 {
+		t.Fatal("value not updated")
+	}
+}

@@ -1,0 +1,82 @@
+package baseline
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"mwllsc/internal/mwobj"
+)
+
+// GCPtr implements the W-word LL/SC/VL object as CAS on a pointer to an
+// immutable value slice. Correctness is exact (the garbage collector cannot
+// recycle a snapshot while some process's link references it, so there is
+// no ABA), and all operations are wait-free with O(W) time. The cost is an
+// O(W) allocation on every SC — the garbage collector is doing the buffer
+// management that the paper's algorithm performs explicitly with its 3N
+// recycled buffers.
+type GCPtr struct {
+	n, w int
+	cur  atomic.Pointer[[]uint64]
+	ctx  []gcptrCtx
+}
+
+type gcptrCtx struct {
+	observed *[]uint64
+	_        [56]byte // keep per-process links on distinct cache lines
+}
+
+// NewGCPtr returns a GCPtr object for n processes and w-word values.
+func NewGCPtr(n, w int, initial []uint64) (*GCPtr, error) {
+	if n < 1 || w < 1 {
+		return nil, fmt.Errorf("gcptr: invalid n=%d w=%d", n, w)
+	}
+	if len(initial) != w {
+		return nil, fmt.Errorf("gcptr: initial value has %d words, want %d", len(initial), w)
+	}
+	o := &GCPtr{n: n, w: w, ctx: make([]gcptrCtx, n)}
+	v := make([]uint64, w)
+	copy(v, initial)
+	o.cur.Store(&v)
+	return o, nil
+}
+
+// N implements mwobj.MW.
+func (o *GCPtr) N() int { return o.n }
+
+// W implements mwobj.MW.
+func (o *GCPtr) W() int { return o.w }
+
+// LL implements mwobj.MW.
+func (o *GCPtr) LL(p int, dst []uint64) {
+	snap := o.cur.Load()
+	o.ctx[p].observed = snap
+	copy(dst, *snap)
+}
+
+// SC implements mwobj.MW.
+func (o *GCPtr) SC(p int, src []uint64) bool {
+	v := make([]uint64, o.w)
+	copy(v, src)
+	return o.cur.CompareAndSwap(o.ctx[p].observed, &v)
+}
+
+// VL implements mwobj.MW.
+func (o *GCPtr) VL(p int) bool {
+	return o.cur.Load() == o.ctx[p].observed
+}
+
+// Space implements mwobj.Spacer. Paper accounting: the current value's W
+// registers plus one CAS word; physically, up to N retained snapshots (one
+// per outstanding link) are also charged.
+func (o *GCPtr) Space() mwobj.Space {
+	return mwobj.Space{
+		RegisterWords: int64(o.w),
+		LLSCWords:     1,
+		PhysBytes:     8 + int64(o.n)*64 + int64(o.n+1)*int64(o.w)*8,
+	}
+}
+
+var (
+	_ mwobj.MW     = (*GCPtr)(nil)
+	_ mwobj.Spacer = (*GCPtr)(nil)
+)

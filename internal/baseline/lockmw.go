@@ -1,0 +1,89 @@
+package baseline
+
+import (
+	"fmt"
+	"sync"
+
+	"mwllsc/internal/mwobj"
+)
+
+// LockMW implements the W-word LL/SC/VL object with a mutex and a version
+// counter. It is linearizable but blocking: a preempted lock holder stalls
+// every other process — exactly the failure mode lock-free research exists
+// to avoid. It serves as the conventional baseline in throughput
+// experiments.
+type LockMW struct {
+	n, w int
+
+	mu  sync.Mutex
+	val []uint64
+	ver uint64 // incremented on every successful SC
+
+	linked []lockLink
+}
+
+type lockLink struct {
+	ver uint64
+	_   [56]byte
+}
+
+// NewLockMW returns a LockMW object for n processes and w-word values.
+func NewLockMW(n, w int, initial []uint64) (*LockMW, error) {
+	if n < 1 || w < 1 {
+		return nil, fmt.Errorf("lockmw: invalid n=%d w=%d", n, w)
+	}
+	if len(initial) != w {
+		return nil, fmt.Errorf("lockmw: initial value has %d words, want %d", len(initial), w)
+	}
+	o := &LockMW{n: n, w: w, val: make([]uint64, w), linked: make([]lockLink, n)}
+	copy(o.val, initial)
+	o.ver = 1
+	return o, nil
+}
+
+// N implements mwobj.MW.
+func (o *LockMW) N() int { return o.n }
+
+// W implements mwobj.MW.
+func (o *LockMW) W() int { return o.w }
+
+// LL implements mwobj.MW.
+func (o *LockMW) LL(p int, dst []uint64) {
+	o.mu.Lock()
+	copy(dst, o.val)
+	o.linked[p].ver = o.ver
+	o.mu.Unlock()
+}
+
+// SC implements mwobj.MW.
+func (o *LockMW) SC(p int, src []uint64) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.linked[p].ver != o.ver {
+		return false
+	}
+	copy(o.val, src)
+	o.ver++
+	return true
+}
+
+// VL implements mwobj.MW.
+func (o *LockMW) VL(p int) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.linked[p].ver == o.ver
+}
+
+// Space implements mwobj.Spacer.
+func (o *LockMW) Space() mwobj.Space {
+	return mwobj.Space{
+		RegisterWords: int64(o.w) + 1,
+		LLSCWords:     0,
+		PhysBytes:     int64(o.w)*8 + 16 + int64(o.n)*64,
+	}
+}
+
+var (
+	_ mwobj.MW     = (*LockMW)(nil)
+	_ mwobj.Spacer = (*LockMW)(nil)
+)

@@ -1,0 +1,18 @@
+package bench
+
+import "runtime"
+
+// allocsPerRun mirrors testing.AllocsPerRun for non-test binaries: average
+// heap allocations per call to f over runs calls, measured with the world
+// pinned to one proc.
+func allocsPerRun(runs int, f func()) float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	f() // warmup
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(runs)
+}

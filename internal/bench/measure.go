@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mwllsc/internal/mwobj"
+	"mwllsc/internal/mwtest"
+)
+
+// Latency holds single-operation latencies in nanoseconds.
+type Latency struct {
+	LL, SC, VL float64
+}
+
+// MeasureLatency times uncontended LL, SC and VL on a fresh object from f
+// (one process running alone — the paper's O(W) constants without
+// interference). iters should be a few thousand.
+func MeasureLatency(f mwobj.Factory, n, w, iters int) (Latency, error) {
+	obj, err := f(n, w, mwtest.Pattern(0, w))
+	if err != nil {
+		return Latency{}, err
+	}
+	v := make([]uint64, w)
+
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		obj.LL(0, v)
+	}
+	ll := time.Since(start)
+
+	// SC requires a fresh link each time; time LL+SC and subtract LL.
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		obj.LL(0, v)
+		obj.SC(0, v)
+	}
+	llsc := time.Since(start)
+
+	obj.LL(0, v)
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		obj.VL(0)
+	}
+	vl := time.Since(start)
+
+	per := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / float64(iters) }
+	sc := per(llsc) - per(ll)
+	if sc < 0 {
+		sc = 0
+	}
+	return Latency{LL: per(ll), SC: sc, VL: per(vl)}, nil
+}
+
+// Throughput runs g goroutines (each bound to a distinct process id of an
+// n-process object, g <= n) doing LL;SC rounds for roughly dur, and
+// returns completed rounds per second plus the fraction of successful SCs.
+func Throughput(f mwobj.Factory, n, w, g int, dur time.Duration) (opsPerSec, scSuccessFrac float64, err error) {
+	if g > n {
+		return 0, 0, fmt.Errorf("bench: %d goroutines > %d processes", g, n)
+	}
+	obj, err := f(n, w, mwtest.Pattern(0, w))
+	if err != nil {
+		return 0, 0, err
+	}
+	var (
+		stop      atomic.Bool
+		wg        sync.WaitGroup
+		rounds    = make([]int64, g)
+		successes = make([]int64, g)
+	)
+	start := time.Now()
+	for p := 0; p < g; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			v := make([]uint64, w)
+			for !stop.Load() {
+				// Batch the stop check to keep the loop tight.
+				for i := 0; i < 64; i++ {
+					obj.LL(p, v)
+					v[0]++
+					if obj.SC(p, v) {
+						successes[p]++
+					}
+					rounds[p]++
+				}
+			}
+		}(p)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	var totalRounds, totalSucc int64
+	for p := 0; p < g; p++ {
+		totalRounds += rounds[p]
+		totalSucc += successes[p]
+	}
+	if totalRounds == 0 {
+		return 0, 0, fmt.Errorf("bench: no rounds completed")
+	}
+	return float64(totalRounds) / elapsed, float64(totalSucc) / float64(totalRounds), nil
+}
+
+// ReadMostlyThroughput runs one writer (LL;SC) and g-1 readers (LL only)
+// and returns reader ops/sec — the snapshot-style workload.
+func ReadMostlyThroughput(f mwobj.Factory, n, w, g int, dur time.Duration) (readsPerSec float64, err error) {
+	if g > n || g < 2 {
+		return 0, fmt.Errorf("bench: need 2 <= g <= n, got g=%d n=%d", g, n)
+	}
+	obj, err := f(n, w, mwtest.Pattern(0, w))
+	if err != nil {
+		return 0, err
+	}
+	var (
+		stop  atomic.Bool
+		wg    sync.WaitGroup
+		reads = make([]int64, g)
+	)
+	start := time.Now()
+	wg.Add(1)
+	go func() { // writer is process 0
+		defer wg.Done()
+		v := make([]uint64, w)
+		for !stop.Load() {
+			obj.LL(0, v)
+			v[0]++
+			obj.SC(0, v)
+		}
+	}()
+	for p := 1; p < g; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			v := make([]uint64, w)
+			for !stop.Load() {
+				for i := 0; i < 64; i++ {
+					obj.LL(p, v)
+					reads[p]++
+				}
+			}
+		}(p)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	var total int64
+	for _, r := range reads {
+		total += r
+	}
+	return float64(total) / elapsed, nil
+}
+
+// AllocsPerRound reports average heap allocations per LL+SC round for an
+// implementation (steady state, after warmup) — experiment E7.
+func AllocsPerRound(f mwobj.Factory, n, w int) (float64, error) {
+	obj, err := f(n, w, mwtest.Pattern(0, w))
+	if err != nil {
+		return 0, err
+	}
+	v := make([]uint64, w)
+	for i := 0; i < 100; i++ { // warmup
+		obj.LL(0, v)
+		obj.SC(0, v)
+	}
+	allocs := allocsPerRun(500, func() {
+		obj.LL(0, v)
+		obj.SC(0, v)
+	})
+	return allocs, nil
+}
+
+// SpaceOf returns the footprint report of a fresh object from f, or zeros
+// if the implementation cannot report.
+func SpaceOf(f mwobj.Factory, n, w int) (mwobj.Space, error) {
+	obj, err := f(n, w, mwtest.Pattern(0, w))
+	if err != nil {
+		return mwobj.Space{}, err
+	}
+	if sp, ok := obj.(mwobj.Spacer); ok {
+		return sp.Space(), nil
+	}
+	return mwobj.Space{}, nil
+}

@@ -1,0 +1,24 @@
+package core_test
+
+import (
+	"testing"
+
+	"mwllsc/internal/core"
+	"mwllsc/internal/mem"
+	"mwllsc/internal/mwobj"
+	"mwllsc/internal/mwtest"
+)
+
+// The paper's algorithm passes the same conformance suite as every
+// baseline, on both single-word substrates.
+func TestCoreConformanceTagged(t *testing.T) {
+	mwtest.RunConformance(t, func(n, w int, initial []uint64) (mwobj.MW, error) {
+		return core.New(mem.NewReal(n, mem.SubstrateTagged), n, w, initial, nil)
+	})
+}
+
+func TestCoreConformancePtr(t *testing.T) {
+	mwtest.RunConformance(t, func(n, w int, initial []uint64) (mwobj.MW, error) {
+		return core.New(mem.NewReal(n, mem.SubstratePtr), n, w, initial, nil)
+	})
+}

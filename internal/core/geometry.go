@@ -1,0 +1,53 @@
+package core
+
+import "math/bits"
+
+// Geometry fixes how the algorithm packs its composite shared values into
+// single words for a given process count: X = (buf, seq) and
+// Help[p] = (helpme, buf). The simulator's invariant checkers use it to
+// decode raw word values; the Object uses it internally.
+type Geometry struct {
+	// N is the process count.
+	N int
+	// BufBits is the width of a buffer index in 0..3N-1.
+	BufBits uint
+	// SeqBits is the width of a sequence number in 0..2N-1.
+	SeqBits uint
+}
+
+// Geom returns the packing geometry for n processes.
+func Geom(n int) Geometry {
+	return Geometry{
+		N:       n,
+		BufBits: uint(bits.Len(uint(3*n - 1))),
+		SeqBits: uint(bits.Len(uint(2*n - 1))),
+	}
+}
+
+// XValueBits returns the value width needed for the X word.
+func (g Geometry) XValueBits() uint { return g.BufBits + g.SeqBits }
+
+// HelpValueBits returns the value width needed for a Help word.
+func (g Geometry) HelpValueBits() uint { return g.BufBits + 1 }
+
+// PackX packs (buf, seq) into an X word value.
+func (g Geometry) PackX(buf, seq int) uint64 {
+	return uint64(buf)<<g.SeqBits | uint64(seq)
+}
+
+// XBuf extracts the buffer index from an X word value.
+func (g Geometry) XBuf(x uint64) int { return int(x >> g.SeqBits) }
+
+// XSeq extracts the sequence number from an X word value.
+func (g Geometry) XSeq(x uint64) int { return int(x & (1<<g.SeqBits - 1)) }
+
+// PackHelp packs (helpme, buf) into a Help word value.
+func (g Geometry) PackHelp(helpme, buf int) uint64 {
+	return uint64(helpme)<<g.BufBits | uint64(buf)
+}
+
+// HelpFlag extracts the helpme flag from a Help word value.
+func (g Geometry) HelpFlag(h uint64) int { return int(h >> g.BufBits) }
+
+// HelpBuf extracts the buffer index from a Help word value.
+func (g Geometry) HelpBuf(h uint64) int { return int(h & (1<<g.BufBits - 1)) }

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"mwllsc/internal/mem"
+)
+
+// TestHugeProcessCount exercises the packing geometry at scales where the
+// tagged substrate's budget gets tight (N=1200: the X word needs 24 value
+// bits plus 11 pid bits, leaving fewer than 32 counter bits) and the Real
+// backend silently falls back to the pointer substrate for words that no
+// longer fit. Only a handful of process ids are actually driven; the
+// object must still be correct. (Per-(process,word) link contexts make
+// much larger N memory-heavy — that O(N²) substrate term is discussed in
+// DESIGN.md §6.)
+func TestHugeProcessCount(t *testing.T) {
+	const (
+		n       = 1200
+		w       = 4
+		drivers = 8
+		ops     = 300
+	)
+	r := mem.NewReal(n, mem.SubstrateTagged)
+	o, err := New(r, n, w, make([]uint64, w), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Geom(n)
+	if g.BufBits < 12 || g.SeqBits < 12 {
+		t.Fatalf("unexpected geometry for n=%d: %+v", n, g)
+	}
+
+	var wg sync.WaitGroup
+	successes := make([]int64, drivers)
+	for i := 0; i < drivers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := i * (n / drivers) // spread driven pids across the range
+			v := make([]uint64, w)
+			next := make([]uint64, w)
+			for k := 0; k < ops; k++ {
+				o.LL(p, v)
+				for j := 1; j < w; j++ {
+					if v[j] != v[0] {
+						t.Errorf("driver %d: torn read %v", i, v)
+						return
+					}
+				}
+				for j := range next {
+					next[j] = v[0] + 1
+				}
+				if o.SC(p, next) {
+					successes[i]++
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	var total int64
+	for _, s := range successes {
+		total += s
+	}
+	final := make([]uint64, w)
+	o.LL(0, final)
+	if int64(final[0]) != total {
+		t.Fatalf("final %d != %d successes", final[0], total)
+	}
+	// At n=1200 the X word's counter space falls below the tagged
+	// minimum, so the fallback must have engaged.
+	if r.FellBack() == 0 {
+		t.Fatal("expected tagged->ptr fallback at n=1200, got none")
+	}
+}
+
+// TestGeometryWidths pins the packing widths across representative sizes.
+func TestGeometryWidths(t *testing.T) {
+	cases := []struct {
+		n                int
+		bufBits, seqBits uint
+	}{
+		{1, 2, 1},
+		{2, 3, 2},
+		{8, 5, 4},
+		{128, 9, 8},
+		{1024, 12, 11},
+	}
+	for _, tc := range cases {
+		g := Geom(tc.n)
+		if g.BufBits != tc.bufBits || g.SeqBits != tc.seqBits {
+			t.Errorf("Geom(%d) = {%d,%d}, want {%d,%d}",
+				tc.n, g.BufBits, g.SeqBits, tc.bufBits, tc.seqBits)
+		}
+		// Round-trip extremes through the packers.
+		maxBuf, maxSeq := 3*tc.n-1, 2*tc.n-1
+		x := g.PackX(maxBuf, maxSeq)
+		if g.XBuf(x) != maxBuf || g.XSeq(x) != maxSeq {
+			t.Errorf("n=%d: X round trip failed: buf %d seq %d", tc.n, g.XBuf(x), g.XSeq(x))
+		}
+		h := g.PackHelp(1, maxBuf)
+		if g.HelpFlag(h) != 1 || g.HelpBuf(h) != maxBuf {
+			t.Errorf("n=%d: Help round trip failed", tc.n)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mwllsc/internal/mem"
+)
+
+// oracleModel is the trivial sequential LL/SC/VL specification: the value,
+// and per process whether its link is live.
+type oracleModel struct {
+	value []uint64
+	links map[int]bool
+}
+
+func newOracle(initial []uint64) *oracleModel {
+	v := make([]uint64, len(initial))
+	copy(v, initial)
+	return &oracleModel{value: v, links: map[int]bool{}}
+}
+
+func (m *oracleModel) ll(p int) []uint64 {
+	m.links[p] = true
+	out := make([]uint64, len(m.value))
+	copy(out, m.value)
+	return out
+}
+
+func (m *oracleModel) sc(p int, v []uint64) bool {
+	if !m.links[p] {
+		return false
+	}
+	copy(m.value, v)
+	m.links = map[int]bool{} // a successful SC kills every link
+	return true
+}
+
+func (m *oracleModel) vl(p int) bool { return m.links[p] }
+
+// TestSequentialOracleEquivalence interleaves random LL/SC/VL operations by
+// random processes single-threadedly (so the model is exact) and requires
+// the implementation to agree with the oracle on every return value, for
+// both substrates and many seeds. This pins the full sequential semantics,
+// including cross-process link invalidation, in a way individual unit tests
+// cannot.
+func TestSequentialOracleEquivalence(t *testing.T) {
+	for _, substrate := range []mem.Substrate{mem.SubstrateTagged, mem.SubstratePtr} {
+		t.Run(substrate.String(), func(t *testing.T) {
+			for seed := int64(0); seed < 30; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				n := 1 + rng.Intn(5)
+				w := 1 + rng.Intn(6)
+				initial := make([]uint64, w)
+				for i := range initial {
+					initial[i] = uint64(rng.Intn(100))
+				}
+
+				obj, err := New(mem.NewReal(n, substrate), n, w, initial, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				oracle := newOracle(initial)
+				buf := make([]uint64, w)
+
+				for step := 0; step < 400; step++ {
+					p := rng.Intn(n)
+					switch rng.Intn(3) {
+					case 0: // LL
+						obj.LL(p, buf)
+						want := oracle.ll(p)
+						for j := range buf {
+							if buf[j] != want[j] {
+								t.Fatalf("seed %d step %d: LL(p%d) word %d = %d, oracle %d",
+									seed, step, p, j, buf[j], want[j])
+							}
+						}
+					case 1: // SC of a fresh random value
+						v := make([]uint64, w)
+						for j := range v {
+							v[j] = uint64(rng.Intn(1000))
+						}
+						got := obj.SC(p, v)
+						want := oracle.sc(p, v)
+						if got != want {
+							t.Fatalf("seed %d step %d: SC(p%d) = %v, oracle %v",
+								seed, step, p, got, want)
+						}
+					default: // VL
+						got := obj.VL(p)
+						want := oracle.vl(p)
+						if got != want {
+							t.Fatalf("seed %d step %d: VL(p%d) = %v, oracle %v",
+								seed, step, p, got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import "sync/atomic"
+
+// Stats counts algorithm events across all processes of one Object; pass a
+// Stats to New to enable. All counters are safe for concurrent use and for
+// reading while the object is in use. Stats quantify the helping mechanism
+// (paper §2.2-§2.3) for experiment E4.
+type Stats struct {
+	// LLTotal counts completed LL operations.
+	LLTotal atomic.Int64
+	// LLHelped counts LL operations that found themselves helped at
+	// Line 4, i.e. at least 2N successful SCs overlapped their first
+	// buffer read.
+	LLHelped atomic.Int64
+	// SCTotal counts completed SC operations (successful or not).
+	SCTotal atomic.Int64
+	// SCSuccess counts successful SC operations.
+	SCSuccess atomic.Int64
+	// Handoffs counts successful buffer handoffs at Line 15 (an SC
+	// donating its buffer to an announced LL).
+	Handoffs atomic.Int64
+	// BankFixes counts Line 13 executions (an SC repairing a Bank entry
+	// its predecessor had not yet recorded).
+	BankFixes atomic.Int64
+}
+
+// Snapshot returns a plain-struct copy of the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		LLTotal:   s.LLTotal.Load(),
+		LLHelped:  s.LLHelped.Load(),
+		SCTotal:   s.SCTotal.Load(),
+		SCSuccess: s.SCSuccess.Load(),
+		Handoffs:  s.Handoffs.Load(),
+		BankFixes: s.BankFixes.Load(),
+	}
+}
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot struct {
+	LLTotal   int64
+	LLHelped  int64
+	SCTotal   int64
+	SCSuccess int64
+	Handoffs  int64
+	BankFixes int64
+}
+
+// HelpedFraction returns LLHelped/LLTotal, or 0 when no LLs completed.
+func (s StatsSnapshot) HelpedFraction() float64 {
+	if s.LLTotal == 0 {
+		return 0
+	}
+	return float64(s.LLHelped) / float64(s.LLTotal)
+}
+
+// SuccessFraction returns SCSuccess/SCTotal, or 0 when no SCs completed.
+func (s StatsSnapshot) SuccessFraction() float64 {
+	if s.SCTotal == 0 {
+		return 0
+	}
+	return float64(s.SCSuccess) / float64(s.SCTotal)
+}

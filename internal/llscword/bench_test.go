@@ -1,0 +1,69 @@
+package llscword
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Ablation: per-process link contexts padded to a cache line (64 B each)
+// versus compact (16 B, four processes per line). Contended LL/SC rounds
+// show the false-sharing cost compact contexts pay; the space benches in
+// E2 show what padding costs in bytes.
+func BenchmarkTaggedContextPadding(b *testing.B) {
+	for _, padded := range []bool{false, true} {
+		for _, g := range []int{1, 4} {
+			b.Run(fmt.Sprintf("padded=%v/G=%d", padded, g), func(b *testing.B) {
+				w, err := NewTagged(g, 16, 0, padded)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var wg sync.WaitGroup
+				per := b.N/g + 1
+				b.ResetTimer()
+				for p := 0; p < g; p++ {
+					wg.Add(1)
+					go func(p int) {
+						defer wg.Done()
+						for i := 0; i < per; i++ {
+							v := w.LL(p)
+							w.SC(p, (v+1)&0xffff)
+						}
+					}(p)
+				}
+				wg.Wait()
+			})
+		}
+	}
+}
+
+// Substrate comparison at the single-word level (the E5 ablation's
+// denominator): one LL/SC round on each construction.
+func BenchmarkWordRound(b *testing.B) {
+	words := map[string]Word{
+		"tagged": MustTagged(1, 16, 0),
+		"ptr":    NewPtr(1, 0),
+	}
+	for name, w := range words {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v := w.LL(0)
+				w.SC(0, (v+1)&0xffff)
+			}
+		})
+	}
+}
+
+func BenchmarkWordWrite(b *testing.B) {
+	words := map[string]Word{
+		"tagged": MustTagged(1, 16, 0),
+		"ptr":    NewPtr(1, 0),
+	}
+	for name, w := range words {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w.Write(0, uint64(i)&0xffff)
+			}
+		})
+	}
+}

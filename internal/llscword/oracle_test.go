@@ -1,0 +1,75 @@
+package llscword
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// wordOracle is the exact sequential LL/SC/VL model for a single word.
+type wordOracle struct {
+	value uint64
+	links map[int]bool
+}
+
+// TestWordOracleEquivalence drives random single-threaded op sequences
+// against both constructions and the model; every return value must agree.
+// This pins Write-invalidates-links and cross-process link semantics at the
+// substrate level.
+func TestWordOracleEquivalence(t *testing.T) {
+	for _, build := range []struct {
+		name string
+		mk   func(n int, init uint64) Word
+	}{
+		{"tagged", func(n int, init uint64) Word { return MustTagged(n, 12, init) }},
+		{"ptr", func(n int, init uint64) Word { return NewPtr(n, init) }},
+	} {
+		t.Run(build.name, func(t *testing.T) {
+			for seed := int64(0); seed < 40; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				n := 1 + rng.Intn(6)
+				init := uint64(rng.Intn(100))
+				w := build.mk(n, init)
+				oracle := &wordOracle{value: init, links: map[int]bool{}}
+
+				for step := 0; step < 500; step++ {
+					p := rng.Intn(n)
+					v := uint64(rng.Intn(1000))
+					switch rng.Intn(5) {
+					case 0: // LL
+						got := w.LL(p)
+						oracle.links[p] = true
+						if got != oracle.value {
+							t.Fatalf("seed %d step %d: LL(p%d) = %d, oracle %d",
+								seed, step, p, got, oracle.value)
+						}
+					case 1: // SC
+						got := w.SC(p, v)
+						want := oracle.links[p]
+						if want {
+							oracle.value = v
+							oracle.links = map[int]bool{}
+						}
+						if got != want {
+							t.Fatalf("seed %d step %d: SC(p%d) = %v, oracle %v",
+								seed, step, p, got, want)
+						}
+					case 2: // VL
+						if got, want := w.VL(p), oracle.links[p]; got != want {
+							t.Fatalf("seed %d step %d: VL(p%d) = %v, oracle %v",
+								seed, step, p, got, want)
+						}
+					case 3: // Read
+						if got := w.Read(p); got != oracle.value {
+							t.Fatalf("seed %d step %d: Read(p%d) = %d, oracle %d",
+								seed, step, p, got, oracle.value)
+						}
+					default: // Write
+						w.Write(p, v)
+						oracle.value = v
+						oracle.links = map[int]bool{}
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,75 @@
+package llscword
+
+import "sync/atomic"
+
+// Ptr is a wait-free single-word LL/SC/VL object built from CAS on a
+// pointer to an immutable cell. Because a cell referenced by some process's
+// LL context is reachable, the garbage collector cannot recycle its address,
+// so pointer equality is exactly "no successful mutation since my LL" — the
+// ABA problem cannot arise. Semantics are exact and unbounded; the cost is
+// one small allocation per SC/Write.
+//
+// The zero value is not usable; use NewPtr.
+type Ptr struct {
+	word   atomic.Pointer[ptrCell]
+	ctx    []ptrCtx // per-process link state, indexed p*stride
+	stride int
+}
+
+type ptrCell struct {
+	v uint64
+}
+
+// ptrCtx is 16 bytes like taggedCtx, so compact/padded strides match.
+type ptrCtx struct {
+	observed *ptrCell
+	_        [8]byte
+}
+
+// NewPtr returns a Ptr word for n processes initialized to init. If padded
+// is true, per-process link contexts get cache-line stride.
+func NewPtr(n int, init uint64, padded ...bool) *Ptr {
+	stride := strideCompact
+	if len(padded) > 0 && padded[0] {
+		stride = stridePadded
+	}
+	p := &Ptr{ctx: make([]ptrCtx, n*stride), stride: stride}
+	p.word.Store(&ptrCell{v: init})
+	return p
+}
+
+// LL implements Word.
+func (t *Ptr) LL(p int) uint64 {
+	c := t.word.Load()
+	t.ctx[p*t.stride].observed = c
+	return c.v
+}
+
+// SC implements Word.
+func (t *Ptr) SC(p int, v uint64) bool {
+	return t.word.CompareAndSwap(t.ctx[p*t.stride].observed, &ptrCell{v: v})
+}
+
+// VL implements Word.
+func (t *Ptr) VL(p int) bool {
+	return t.word.Load() == t.ctx[p*t.stride].observed
+}
+
+// Read implements Word.
+func (t *Ptr) Read(p int) uint64 {
+	return t.word.Load().v
+}
+
+// Write implements Word.
+func (t *Ptr) Write(p int, v uint64) {
+	t.word.Swap(&ptrCell{v: v})
+}
+
+// PhysBytes reports the physical footprint: the pointer word, the live
+// cell, and all per-process link contexts (retained cells referenced only
+// by links are attributed to the linking process's context slot).
+func (t *Ptr) PhysBytes() int64 {
+	return 8 + 8 + int64(len(t.ctx))*16
+}
+
+var _ Word = (*Ptr)(nil)

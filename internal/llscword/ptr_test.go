@@ -1,0 +1,64 @@
+package llscword
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPtrNoABAUnderRecycledValues re-creates the classic ABA pattern
+// (value changes A -> B -> A while a process holds a link) and checks that
+// the pointer construction still fails the stale SC. The Tagged variant is
+// covered by TestTaggedTagUniqueness; this is the Ptr counterpart.
+func TestPtrNoABAUnderRecycledValues(t *testing.T) {
+	w := NewPtr(2, 100)
+	w.LL(0) // process 0 links value 100 (A)
+	w.Write(1, 200)
+	w.Write(1, 100) // back to A: same value, different cell
+	if w.VL(0) {
+		t.Fatal("VL = true across A->B->A, want false")
+	}
+	if w.SC(0, 300) {
+		t.Fatal("SC succeeded across A->B->A, want failure")
+	}
+	if got := w.Read(0); got != 100 {
+		t.Fatalf("Read = %d, want 100", got)
+	}
+}
+
+func TestPtrFullValueRange(t *testing.T) {
+	// Unlike Tagged, Ptr imposes no width restriction on values.
+	w := NewPtr(1, ^uint64(0))
+	if got := w.LL(0); got != ^uint64(0) {
+		t.Fatalf("LL = %#x, want all ones", got)
+	}
+	if !w.SC(0, 1<<63) {
+		t.Fatal("SC failed")
+	}
+	if got := w.Read(0); got != 1<<63 {
+		t.Fatalf("Read = %#x, want 1<<63", got)
+	}
+}
+
+// TestPtrConcurrentDistinctCells checks under the race detector that
+// concurrent SC/Write traffic never tears: every observed value is one that
+// some process wrote.
+func TestPtrConcurrentDistinctCells(t *testing.T) {
+	const n = 8
+	w := NewPtr(n, 0)
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				v := w.LL(p)
+				if v%2 == 1 {
+					t.Errorf("observed odd value %d; only even values are written", v)
+					return
+				}
+				w.SC(p, v+2)
+			}
+		}(p)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,231 @@
+package llscword
+
+import (
+	"sync"
+	"testing"
+)
+
+// variants returns a fresh instance of every Word implementation under a
+// common constructor signature, so the semantic tests below run against all
+// of them.
+func variants(t *testing.T, n int, init uint64) map[string]Word {
+	t.Helper()
+	return map[string]Word{
+		"tagged": MustTagged(n, 16, init),
+		"ptr":    NewPtr(n, init),
+	}
+}
+
+func TestSequentialLLSC(t *testing.T) {
+	for name, w := range variants(t, 2, 7) {
+		t.Run(name, func(t *testing.T) {
+			if got := w.LL(0); got != 7 {
+				t.Fatalf("LL = %d, want 7", got)
+			}
+			if !w.VL(0) {
+				t.Fatal("VL after LL with no interference = false, want true")
+			}
+			if !w.SC(0, 8) {
+				t.Fatal("SC after uninterfered LL failed, want success")
+			}
+			if got := w.Read(0); got != 8 {
+				t.Fatalf("Read = %d, want 8", got)
+			}
+			// A second SC without a new LL must fail: the process's own
+			// successful SC counts as "a successful SC since the latest LL".
+			if w.SC(0, 9) {
+				t.Fatal("second SC without LL succeeded, want failure")
+			}
+			if got := w.Read(0); got != 8 {
+				t.Fatalf("value changed by failed SC: Read = %d, want 8", got)
+			}
+		})
+	}
+}
+
+func TestSCFailsAfterInterveningSC(t *testing.T) {
+	for name, w := range variants(t, 2, 0) {
+		t.Run(name, func(t *testing.T) {
+			w.LL(0)
+			w.LL(1)
+			if !w.SC(1, 42) {
+				t.Fatal("process 1's SC failed, want success")
+			}
+			if w.VL(0) {
+				t.Fatal("VL(0) after interfering SC = true, want false")
+			}
+			if w.SC(0, 99) {
+				t.Fatal("process 0's SC after interference succeeded, want failure")
+			}
+			if got := w.Read(0); got != 42 {
+				t.Fatalf("Read = %d, want 42", got)
+			}
+		})
+	}
+}
+
+func TestWriteInvalidatesLinks(t *testing.T) {
+	for name, w := range variants(t, 2, 1) {
+		t.Run(name, func(t *testing.T) {
+			w.LL(0)
+			w.Write(1, 5)
+			if w.VL(0) {
+				t.Fatal("VL after Write = true, want false")
+			}
+			if w.SC(0, 9) {
+				t.Fatal("SC after Write succeeded, want failure")
+			}
+			if got := w.Read(0); got != 5 {
+				t.Fatalf("Read = %d, want 5", got)
+			}
+		})
+	}
+}
+
+func TestWriteByLinkHolderInvalidatesOwnLink(t *testing.T) {
+	// Line 1 of the paper's LL writes Help[p] unconditionally; Lemma 2's
+	// proof depends on that write failing SCs linked before it — including
+	// the writer's own.
+	for name, w := range variants(t, 1, 0) {
+		t.Run(name, func(t *testing.T) {
+			w.LL(0)
+			w.Write(0, 3)
+			if w.VL(0) {
+				t.Fatal("VL after own Write = true, want false")
+			}
+			if w.SC(0, 4) {
+				t.Fatal("SC after own Write succeeded, want failure")
+			}
+		})
+	}
+}
+
+func TestReadDoesNotAffectLink(t *testing.T) {
+	for name, w := range variants(t, 2, 10) {
+		t.Run(name, func(t *testing.T) {
+			w.LL(0)
+			w.Write(1, 11)
+			if got := w.Read(0); got != 11 {
+				t.Fatalf("Read = %d, want 11", got)
+			}
+			// Read must not refresh the link: SC still fails.
+			if w.SC(0, 12) {
+				t.Fatal("SC succeeded after Read of changed value, want failure")
+			}
+		})
+	}
+}
+
+func TestLLRefreshesLink(t *testing.T) {
+	for name, w := range variants(t, 2, 0) {
+		t.Run(name, func(t *testing.T) {
+			w.LL(0)
+			w.Write(1, 1)
+			if got := w.LL(0); got != 1 {
+				t.Fatalf("LL = %d, want 1", got)
+			}
+			if !w.SC(0, 2) {
+				t.Fatal("SC after refreshed LL failed, want success")
+			}
+		})
+	}
+}
+
+func TestIndependentLinksPerProcess(t *testing.T) {
+	for name, w := range variants(t, 3, 0) {
+		t.Run(name, func(t *testing.T) {
+			w.LL(0)
+			w.LL(1)
+			w.LL(2)
+			if !w.SC(2, 5) {
+				t.Fatal("SC(2) failed")
+			}
+			if w.VL(0) || w.VL(1) {
+				t.Fatal("VL(0)/VL(1) true after SC(2), want false")
+			}
+			// Process 2's own link is also consumed by its successful SC.
+			if w.SC(2, 6) {
+				t.Fatal("SC(2) without new LL succeeded, want failure")
+			}
+		})
+	}
+}
+
+// TestConcurrentCounter drives all processes through LL/SC increment loops
+// and checks that the final value equals the number of successful SCs — the
+// defining property of LL/SC (every successful SC saw the immediately
+// preceding value).
+func TestConcurrentCounter(t *testing.T) {
+	const (
+		n      = 8
+		perOps = 2000
+	)
+	for name, w := range variants(t, n, 0) {
+		t.Run(name, func(t *testing.T) {
+			var (
+				wg        sync.WaitGroup
+				successes [n]int64
+			)
+			for p := 0; p < n; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for i := 0; i < perOps; i++ {
+						v := w.LL(p)
+						if w.SC(p, v+1) {
+							successes[p]++
+						}
+					}
+				}(p)
+			}
+			wg.Wait()
+			var total int64
+			for _, s := range successes {
+				total += s
+			}
+			if got := int64(w.Read(0)); got != total {
+				t.Fatalf("final value = %d, want %d (sum of successful SCs)", got, total)
+			}
+			if total == 0 {
+				t.Fatal("no SC ever succeeded; scheduler starvation is not plausible here")
+			}
+		})
+	}
+}
+
+// TestConcurrentWritersAndLinkers mixes unconditional Writes with LL/SC and
+// checks only that the object never exposes a value nobody wrote.
+func TestConcurrentWritersAndLinkers(t *testing.T) {
+	const n = 6
+	for name, w := range variants(t, n, 0) {
+		t.Run(name, func(t *testing.T) {
+			valid := func(v uint64) bool { return v < 1<<15 }
+			var wg sync.WaitGroup
+			for p := 0; p < n; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for i := 0; i < 1000; i++ {
+						switch i % 3 {
+						case 0:
+							w.Write(p, uint64(i%100))
+						case 1:
+							v := w.LL(p)
+							if !valid(v) {
+								t.Errorf("LL returned unwritten value %d", v)
+								return
+							}
+							w.SC(p, v+1)
+						default:
+							if v := w.Read(p); !valid(v) {
+								t.Errorf("Read returned unwritten value %d", v)
+								return
+							}
+						}
+					}
+				}(p)
+			}
+			wg.Wait()
+		})
+	}
+}

@@ -1,0 +1,114 @@
+package mem
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"mwllsc/internal/llscword"
+)
+
+// Substrate selects how Real memory realizes single-word LL/SC objects.
+type Substrate uint8
+
+// Substrate choices; see package llscword for the constructions.
+const (
+	// SubstrateTagged packs value+tag in one uint64 (no allocation,
+	// bounded tag space). Falls back to SubstratePtr per word when the
+	// configuration leaves too little tag space.
+	SubstrateTagged Substrate = iota + 1
+	// SubstratePtr uses CAS on pointers to immutable cells (exact,
+	// unbounded, allocates per mutation).
+	SubstratePtr
+)
+
+// String returns the substrate's name.
+func (s Substrate) String() string {
+	switch s {
+	case SubstrateTagged:
+		return "tagged"
+	case SubstratePtr:
+		return "ptr"
+	default:
+		return "?"
+	}
+}
+
+// Real is the production Memory backend: words are llscword objects and
+// buffers are flat arrays of per-word atomics. Trace events are discarded.
+type Real struct {
+	n         int
+	substrate Substrate
+
+	// fellBack counts words that requested SubstrateTagged but were given
+	// SubstratePtr because the tag space was too small.
+	fellBack atomic.Int64
+}
+
+// NewReal returns a Real memory for n processes using the given substrate.
+func NewReal(n int, substrate Substrate) *Real {
+	if n < 1 {
+		panic(fmt.Sprintf("mem: n must be >= 1, got %d", n))
+	}
+	return &Real{n: n, substrate: substrate}
+}
+
+// NewWord implements Memory. The X word gets cache-line-padded link
+// contexts (it is touched by every operation of every process); Bank and
+// Help words get compact contexts.
+func (r *Real) NewWord(kind WordKind, idx int, valueBits uint, init uint64) Word {
+	padded := kind == WordX
+	if r.substrate == SubstrateTagged {
+		w, err := llscword.NewTagged(r.n, valueBits, init, padded)
+		if err == nil {
+			return w
+		}
+		r.fellBack.Add(1)
+	}
+	return llscword.NewPtr(r.n, init, padded)
+}
+
+// NewBuffers implements Memory.
+func (r *Real) NewBuffers(count, w int) Buffers {
+	return &realBuffers{w: w, words: make([]atomic.Uint64, count*w)}
+}
+
+// Trace implements Memory as a no-op.
+func (r *Real) Trace(int, Event) {}
+
+// Tracing implements Memory; Real memory never consumes events.
+func (r *Real) Tracing() bool { return false }
+
+// FellBack reports how many words silently used SubstratePtr despite
+// SubstrateTagged being requested.
+func (r *Real) FellBack() int64 { return r.fellBack.Load() }
+
+var _ Memory = (*Real)(nil)
+
+// realBuffers stores count*w words flat; each buffer b occupies words
+// [b*w, (b+1)*w). Per-word atomics make every read/write race-free, which
+// is strictly stronger than the safe registers the paper requires.
+type realBuffers struct {
+	w     int
+	words []atomic.Uint64
+}
+
+func (b *realBuffers) W() int { return b.w }
+
+func (b *realBuffers) ReadBuf(p, buf int, dst []uint64) {
+	base := buf * b.w
+	for i := range dst {
+		dst[i] = b.words[base+i].Load()
+	}
+}
+
+func (b *realBuffers) WriteBuf(p, buf int, src []uint64) {
+	base := buf * b.w
+	for i, v := range src {
+		b.words[base+i].Store(v)
+	}
+}
+
+// PhysBytes reports the buffer array's physical size.
+func (b *realBuffers) PhysBytes() int64 { return int64(len(b.words)) * 8 }
+
+var _ Buffers = (*realBuffers)(nil)

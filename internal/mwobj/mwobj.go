@@ -1,0 +1,69 @@
+// Package mwobj defines the common interface implemented by every
+// W-word LL/SC/VL object in this repository — the paper's algorithm
+// (internal/core) and all baselines (internal/baseline) — so that
+// conformance tests, applications, and benchmarks are implementation
+// agnostic.
+package mwobj
+
+// MW is an N-process, W-word LL/SC/VL object with the semantics of
+// Figure 1 of the paper lifted to W-word values:
+//
+//   - LL(p, dst) stores the object's current value into dst.
+//   - SC(p, src) writes src and returns true iff no process performed a
+//     successful SC since p's latest LL; otherwise it returns false and
+//     leaves the value unchanged.
+//   - VL(p) returns true iff no process performed a successful SC since
+//     p's latest LL.
+//
+// A process id p in [0, N) must be driven by at most one goroutine at a
+// time; distinct processes may run fully concurrently.
+type MW interface {
+	// N returns the number of processes the object was created for.
+	N() int
+	// W returns the value width in 64-bit words.
+	W() int
+	// LL performs a load-linked by process p; len(dst) must equal W.
+	LL(p int, dst []uint64)
+	// SC performs a store-conditional by process p; len(src) must equal W.
+	SC(p int, src []uint64) bool
+	// VL validates process p's latest LL.
+	VL(p int) bool
+}
+
+// Factory builds a fresh MW object for n processes and w words holding
+// initial; applications and tests are parameterized by it so any
+// implementation (the paper's or a baseline) can sit underneath.
+type Factory func(n, w int, initial []uint64) (MW, error)
+
+// Space is a memory-footprint report in two accountings:
+//
+// The paper accounting counts what Theorem 1 counts — 64-bit safe
+// registers and single-word LL/SC/VL objects, each as one word — and is the
+// right basis for checking the paper's O(NW)-vs-O(N²W) claim.
+//
+// PhysBytes additionally charges everything our software substrate needs
+// that the paper's model treats as free hardware (per-process LL link
+// contexts, mutexes, retained GC cells), and is the right basis for "what
+// does this cost me in Go".
+type Space struct {
+	// RegisterWords counts 64-bit safe-register words (paper accounting).
+	RegisterWords int64
+	// LLSCWords counts single-word LL/SC/VL objects (paper accounting).
+	LLSCWords int64
+	// PhysBytes estimates total bytes physically allocated.
+	PhysBytes int64
+}
+
+// PaperWords returns the total paper-accounting word count.
+func (s Space) PaperWords() int64 { return s.RegisterWords + s.LLSCWords }
+
+// Spacer is implemented by objects that can report their footprint.
+type Spacer interface {
+	Space() Space
+}
+
+// PhysByteser is implemented by substrate pieces that can report their
+// physical size (e.g. words, buffer arrays).
+type PhysByteser interface {
+	PhysBytes() int64
+}

@@ -1,0 +1,308 @@
+// Package mwtest is the conformance suite for W-word LL/SC/VL objects: a
+// set of semantic tests run identically against the paper's algorithm and
+// every baseline, so "implements mwobj.MW" means the same thing everywhere.
+package mwtest
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+
+	"mwllsc/internal/check"
+	"mwllsc/internal/mwobj"
+)
+
+// Factory builds a fresh object for n processes and w words holding
+// initial; tests call it once per scenario.
+type Factory = mwobj.Factory
+
+// Pattern returns the w-word test value with word j = base+j.
+func Pattern(base uint64, w int) []uint64 {
+	v := make([]uint64, w)
+	for j := range v {
+		v[j] = base + uint64(j)
+	}
+	return v
+}
+
+// RunConformance runs the full semantic suite against the factory.
+func RunConformance(t *testing.T, f Factory) {
+	t.Helper()
+	t.Run("InitialValue", func(t *testing.T) { testInitialValue(t, f) })
+	t.Run("SequentialSemantics", func(t *testing.T) { testSequentialSemantics(t, f) })
+	t.Run("InterferenceFailsSC", func(t *testing.T) { testInterferenceFailsSC(t, f) })
+	t.Run("FailedSCPreservesValue", func(t *testing.T) { testFailedSCPreservesValue(t, f) })
+	t.Run("SingleProcess", func(t *testing.T) { testSingleProcess(t, f) })
+	t.Run("CounterInvariant", func(t *testing.T) { testCounterInvariant(t, f) })
+	t.Run("NoTornReads", func(t *testing.T) { testNoTornReads(t, f) })
+	t.Run("VLFalseImpliesSCFails", func(t *testing.T) { testVLFalseImpliesSCFails(t, f) })
+	t.Run("SmallHistoriesLinearizable", func(t *testing.T) { testSmallHistoriesLinearizable(t, f) })
+	t.Run("SpaceReporting", func(t *testing.T) { testSpaceReporting(t, f) })
+}
+
+// testSpaceReporting checks that implementations reporting a footprint do
+// so consistently: positive physical bytes, at least the register words
+// they claim, and monotone in both N and W.
+func testSpaceReporting(t *testing.T, f Factory) {
+	obj, err := f(2, 2, Pattern(0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := obj.(mwobj.Spacer); !ok {
+		t.Skip("implementation does not report space")
+	}
+	space := func(n, w int) mwobj.Space {
+		o, err := f(n, w, Pattern(0, w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o.(mwobj.Spacer).Space()
+	}
+	base := space(2, 2)
+	if base.PhysBytes <= 0 {
+		t.Fatalf("PhysBytes = %d, want > 0", base.PhysBytes)
+	}
+	if base.PhysBytes < base.RegisterWords*8 {
+		t.Fatalf("PhysBytes %d below register floor %d", base.PhysBytes, base.RegisterWords*8)
+	}
+	widerW := space(2, 16)
+	if widerW.PaperWords() < base.PaperWords() || widerW.PhysBytes < base.PhysBytes {
+		t.Fatalf("space not monotone in W: %+v vs %+v", widerW, base)
+	}
+	widerN := space(8, 2)
+	if widerN.PhysBytes < base.PhysBytes {
+		t.Fatalf("physical space not monotone in N: %+v vs %+v", widerN, base)
+	}
+}
+
+func mustNew(t *testing.T, f Factory, n, w int, initial []uint64) mwobj.MW {
+	t.Helper()
+	o, err := f(n, w, initial)
+	if err != nil {
+		t.Fatalf("factory(n=%d, w=%d): %v", n, w, err)
+	}
+	if o.N() != n || o.W() != w {
+		t.Fatalf("N/W = %d/%d, want %d/%d", o.N(), o.W(), n, w)
+	}
+	return o
+}
+
+func testInitialValue(t *testing.T, f Factory) {
+	for _, cfg := range []struct{ n, w int }{{1, 1}, {2, 3}, {4, 8}} {
+		o := mustNew(t, f, cfg.n, cfg.w, Pattern(7, cfg.w))
+		got := make([]uint64, cfg.w)
+		o.LL(0, got)
+		for j, x := range got {
+			if x != 7+uint64(j) {
+				t.Fatalf("n=%d w=%d: initial word %d = %d", cfg.n, cfg.w, j, x)
+			}
+		}
+	}
+}
+
+func testSequentialSemantics(t *testing.T, f Factory) {
+	o := mustNew(t, f, 2, 2, Pattern(0, 2))
+	v := make([]uint64, 2)
+
+	o.LL(0, v)
+	if !o.VL(0) {
+		t.Fatal("VL after quiet LL = false")
+	}
+	if !o.SC(0, Pattern(10, 2)) {
+		t.Fatal("SC after quiet LL failed")
+	}
+	if o.VL(0) {
+		t.Fatal("VL after own successful SC = true")
+	}
+	if o.SC(0, Pattern(20, 2)) {
+		t.Fatal("SC without fresh LL succeeded")
+	}
+	o.LL(1, v)
+	if v[0] != 10 || v[1] != 11 {
+		t.Fatalf("value = %v, want [10 11]", v)
+	}
+}
+
+func testInterferenceFailsSC(t *testing.T, f Factory) {
+	o := mustNew(t, f, 3, 2, Pattern(0, 2))
+	v := make([]uint64, 2)
+	o.LL(0, v)
+	o.LL(1, v)
+	if !o.SC(1, Pattern(5, 2)) {
+		t.Fatal("SC(1) failed")
+	}
+	if o.VL(0) {
+		t.Fatal("VL(0) = true after interference")
+	}
+	if o.SC(0, Pattern(9, 2)) {
+		t.Fatal("SC(0) succeeded after interference")
+	}
+	o.LL(2, v)
+	if v[0] != 5 {
+		t.Fatalf("value = %v, want base 5", v)
+	}
+}
+
+func testFailedSCPreservesValue(t *testing.T, f Factory) {
+	o := mustNew(t, f, 2, 3, Pattern(1, 3))
+	v := make([]uint64, 3)
+	o.LL(0, v)
+	o.LL(1, v)
+	if !o.SC(0, Pattern(2, 3)) {
+		t.Fatal("SC(0) failed")
+	}
+	if o.SC(1, Pattern(3, 3)) {
+		t.Fatal("SC(1) succeeded")
+	}
+	o.LL(0, v)
+	if v[0] != 2 {
+		t.Fatalf("failed SC changed value: %v", v)
+	}
+}
+
+func testSingleProcess(t *testing.T, f Factory) {
+	o := mustNew(t, f, 1, 2, Pattern(0, 2))
+	v := make([]uint64, 2)
+	for i := 0; i < 200; i++ {
+		o.LL(0, v)
+		if v[1] != v[0]+1 {
+			t.Fatalf("round %d: torn %v", i, v)
+		}
+		if !o.SC(0, Pattern(v[0]+1, 2)) {
+			t.Fatalf("round %d: SC failed", i)
+		}
+	}
+	o.LL(0, v)
+	if v[0] != 200 {
+		t.Fatalf("final %d, want 200", v[0])
+	}
+}
+
+func testCounterInvariant(t *testing.T, f Factory) {
+	configs := []struct{ n, w, ops int }{
+		{2, 1, 3000}, {4, 4, 1500}, {8, 8, 800},
+	}
+	for _, cfg := range configs {
+		t.Run(fmt.Sprintf("n%d_w%d", cfg.n, cfg.w), func(t *testing.T) {
+			o := mustNew(t, f, cfg.n, cfg.w, Pattern(0, cfg.w))
+			var wg sync.WaitGroup
+			successes := make([]int64, cfg.n)
+			for p := 0; p < cfg.n; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					v := make([]uint64, cfg.w)
+					for i := 0; i < cfg.ops; i++ {
+						o.LL(p, v)
+						if o.SC(p, Pattern(v[0]+1, cfg.w)) {
+							successes[p]++
+						}
+					}
+				}(p)
+			}
+			wg.Wait()
+			var total int64
+			for _, s := range successes {
+				total += s
+			}
+			v := make([]uint64, cfg.w)
+			o.LL(0, v)
+			if int64(v[0]) != total {
+				t.Fatalf("final counter %d != %d successful SCs", v[0], total)
+			}
+			if total == 0 {
+				t.Fatal("no SC ever succeeded")
+			}
+		})
+	}
+}
+
+func testNoTornReads(t *testing.T, f Factory) {
+	const (
+		n   = 6
+		w   = 16
+		ops = 600
+	)
+	o := mustNew(t, f, n, w, Pattern(0, w))
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			v := make([]uint64, w)
+			for i := 0; i < ops; i++ {
+				o.LL(p, v)
+				for j := range v {
+					if v[j] != v[0]+uint64(j) {
+						t.Errorf("p%d round %d: torn read %v", p, i, v)
+						return
+					}
+				}
+				o.SC(p, Pattern(uint64(1+p*ops+i)*64, w))
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
+func testVLFalseImpliesSCFails(t *testing.T, f Factory) {
+	const n = 4
+	o := mustNew(t, f, n, 2, Pattern(0, 2))
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			v := make([]uint64, 2)
+			for i := 0; i < 1200; i++ {
+				o.LL(p, v)
+				valid := o.VL(p)
+				if ok := o.SC(p, Pattern(v[0]+1, 2)); ok && !valid {
+					t.Errorf("p%d: SC succeeded after VL=false", p)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
+func testSmallHistoriesLinearizable(t *testing.T, f Factory) {
+	const (
+		n      = 3
+		w      = 4
+		opsPer = 5
+		rounds = 120
+	)
+	for round := 0; round < rounds; round++ {
+		o := mustNew(t, f, n, w, Pattern(0, w))
+		rec := check.NewRecorder(n)
+		var wg sync.WaitGroup
+		for p := 0; p < n; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				v := make([]uint64, w)
+				for i := 0; i < opsPer; i++ {
+					inv := rec.Begin()
+					o.LL(p, v)
+					rec.RecordLL(p, check.PatternValue(v), inv, rec.End())
+
+					inv = rec.Begin()
+					ok := o.VL(p)
+					rec.RecordVL(p, ok, inv, rec.End())
+
+					id := uint64(1 + p*opsPer + i)
+					inv = rec.Begin()
+					ok = o.SC(p, Pattern(id, w))
+					rec.RecordSC(p, strconv.FormatUint(id, 10), ok, inv, rec.End())
+				}
+			}(p)
+		}
+		wg.Wait()
+		if err := check.CheckLLSC(rec.History(), "0"); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}

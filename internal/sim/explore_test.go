@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"testing"
+
+	"mwllsc/internal/core"
+)
+
+func TestScriptedReplaysDeterministically(t *testing.T) {
+	// Run once non-preemptively, then replay its full trace: identical
+	// results, and the scripted policy must never panic on divergence.
+	first := NewScripted(nil)
+	a, err := Run(Config{N: 2, W: 2, OpsPerProc: 2, Seed: 3, Policy: first})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := NewScripted(first.trace)
+	b, err := Run(Config{N: 2, W: 2, OpsPerProc: 2, Seed: 3, Policy: replay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Steps != b.Steps || len(a.History) != len(b.History) {
+		t.Fatalf("replay diverged: steps %d vs %d", a.Steps, b.Steps)
+	}
+	for i := range a.History {
+		if a.History[i] != b.History[i] {
+			t.Fatalf("replay diverged at op %d: %v vs %v", i, a.History[i], b.History[i])
+		}
+	}
+}
+
+// TestExploreCleanSmall systematically explores all schedules with up to 2
+// preemptions of a 2-process workload: every schedule must satisfy every
+// invariant, linearizability, and the Theorem 1 step bounds.
+func TestExploreCleanSmall(t *testing.T) {
+	res, err := Explore(ExploreConfig{
+		N: 2, W: 2, OpsPerProc: 1, Seed: 1, MaxPreemptions: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) > 0 {
+		f := res.Findings[0]
+		t.Fatalf("%d failing schedules; first prefix %v: %v", len(res.Findings), f.Prefix, f.Errs)
+	}
+	if res.Runs < 100 {
+		t.Fatalf("exploration only ran %d schedules; branching is broken", res.Runs)
+	}
+	if res.MaxLLSteps > 4*2+11 || res.MaxSCSteps > 2+10 {
+		t.Fatalf("step bounds exceeded across exploration: LL=%d SC=%d", res.MaxLLSteps, res.MaxSCSteps)
+	}
+	t.Logf("explored %d schedules, worst LL %d steps, worst SC %d steps, helped LLs %d",
+		res.Runs, res.MaxLLSteps, res.MaxSCSteps, res.HelpedLLs)
+}
+
+// TestExploreThreeProcs bounds the run count but still covers thousands of
+// distinct 3-process schedules.
+func TestExploreThreeProcs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration is heavier; skipped with -short")
+	}
+	res, err := Explore(ExploreConfig{
+		N: 3, W: 1, OpsPerProc: 1, Seed: 2, MaxPreemptions: 2,
+		MaxRuns: 4000, VLEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) > 0 {
+		f := res.Findings[0]
+		t.Fatalf("failing schedule, prefix %v: %v", f.Prefix, f.Errs)
+	}
+	if res.Runs < 1000 {
+		t.Fatalf("only %d runs explored", res.Runs)
+	}
+}
+
+// TestExploreFindsInjectedBug is the explorer's own negative control: with
+// the Bank maintenance disabled, bounded-preemption exploration must find a
+// failing schedule.
+func TestExploreFindsInjectedBug(t *testing.T) {
+	res, err := Explore(ExploreConfig{
+		N: 2, W: 2, OpsPerProc: 2, Seed: 1, MaxPreemptions: 2,
+		MaxRuns: 3000,
+		Debug:   core.Debug{SkipBankFix: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) == 0 {
+		t.Fatalf("exploration of %d schedules missed the injected Bank bug", res.Runs)
+	}
+	// The finding must carry a replayable prefix.
+	f := res.Findings[0]
+	replay := NewScripted(f.Prefix)
+	run, err := Run(Config{
+		N: 2, W: 2, OpsPerProc: 2, Seed: 1, Policy: replay,
+		Debug: core.Debug{SkipBankFix: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Violations) == 0 {
+		t.Fatal("replaying the finding's prefix did not reproduce the violation")
+	}
+}
+
+func TestExploreRejectsNegativeBound(t *testing.T) {
+	if _, err := Explore(ExploreConfig{N: 1, W: 1, MaxPreemptions: -1}); err == nil {
+		t.Fatal("accepted negative preemption bound")
+	}
+}

@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"mwllsc/internal/core"
+	"mwllsc/internal/mem"
+)
+
+// newCheckerHarness builds a Memory with the algorithm's word layout for n
+// processes (without running the algorithm), so checker callbacks can be
+// driven synthetically.
+func newCheckerHarness(t *testing.T, n int) (*Memory, *InvariantChecker) {
+	t.Helper()
+	sched := NewSched(n, NewRandom(1), 1000, nil)
+	m := NewMemory(sched, 1, false)
+	g := core.Geom(n)
+	m.NewWord(mem.WordX, 0, g.XValueBits(), g.PackX(0, 0))
+	for k := 0; k < 2*n; k++ {
+		m.NewWord(mem.WordBank, k, g.BufBits, uint64(k))
+	}
+	for p := 0; p < n; p++ {
+		m.NewWord(mem.WordHelp, p, g.HelpValueBits(), g.PackHelp(0, 0))
+	}
+	m.NewBuffers(3*n, 2)
+	c := NewInvariantChecker(m, n)
+	return m, c
+}
+
+func hasViolation(c *InvariantChecker, substr string) bool {
+	for _, v := range c.Violations() {
+		if strings.Contains(v.Error(), substr) {
+			return true
+		}
+	}
+	return false
+}
+
+// The checkers must not be vacuous: each test below feeds a synthetic
+// violation and asserts it is caught.
+
+func TestCheckerCatchesI1DuplicateOwnership(t *testing.T) {
+	m, c := newCheckerHarness(t, 2)
+	// Process 1 "withdraws" claiming process 0's buffer: duplicate m_p.
+	c.OnTrace(1, mem.Event{Kind: mem.EvLLWithdrawn, Arg: c.mybuf[0]})
+	m.sched.started = true
+	c.CheckStep()
+	if !hasViolation(c, "I1") {
+		t.Fatal("duplicate buffer ownership not caught")
+	}
+}
+
+func TestCheckerCatchesI1BankCollision(t *testing.T) {
+	_, c := newCheckerHarness(t, 2)
+	// A process claims buffer 1, which Bank[1] also holds.
+	c.OnTrace(0, mem.Event{Kind: mem.EvSCPublished, Arg: 1})
+	c.CheckStep()
+	if !hasViolation(c, "I1") {
+		t.Fatal("ownership colliding with a Bank buffer not caught")
+	}
+}
+
+func TestCheckerCatchesLemma2DoubleHelp(t *testing.T) {
+	m, c := newCheckerHarness(t, 2)
+	g := core.Geom(2)
+	hw := m.words[wordKey{mem.WordHelp, 0}]
+	// Announce, then two helper writes within one window.
+	c.OnMutate(hw, 0, 0, g.PackHelp(1, 4), true)
+	c.OnMutate(hw, 1, 0, g.PackHelp(0, 5), false)
+	c.OnMutate(hw, 1, 0, g.PackHelp(0, 6), false)
+	if !hasViolation(c, "lemma2") {
+		t.Fatal("double help write not caught")
+	}
+}
+
+func TestCheckerCatchesLemma2WrongFlag(t *testing.T) {
+	m, c := newCheckerHarness(t, 2)
+	g := core.Geom(2)
+	hw := m.words[wordKey{mem.WordHelp, 0}]
+	c.OnMutate(hw, 0, 0, g.PackHelp(1, 4), true)
+	// A helper SC writing flag 1 violates (S2).
+	c.OnMutate(hw, 1, 0, g.PackHelp(1, 5), false)
+	if !hasViolation(c, "lemma2(S2)") {
+		t.Fatal("help SC with flag 1 not caught")
+	}
+}
+
+func TestCheckerCatchesLemma2ForeignAnnounce(t *testing.T) {
+	m, c := newCheckerHarness(t, 2)
+	g := core.Geom(2)
+	hw := m.words[wordKey{mem.WordHelp, 0}]
+	// Process 1 plain-writes process 0's Help word.
+	c.OnMutate(hw, 1, 0, g.PackHelp(1, 4), true)
+	if !hasViolation(c, "help discipline") {
+		t.Fatal("foreign announcement not caught")
+	}
+}
+
+func TestCheckerCatchesLemma2MissingHelpAtWithdrawal(t *testing.T) {
+	m, c := newCheckerHarness(t, 2)
+	g := core.Geom(2)
+	hw := m.words[wordKey{mem.WordHelp, 0}]
+	c.OnMutate(hw, 0, 0, g.PackHelp(1, 4), true)
+	// Withdrawal with zero Help writes: violates (S1).
+	c.OnTrace(0, mem.Event{Kind: mem.EvLLWithdrawn, Arg: 4})
+	if !hasViolation(c, "lemma2(S1)") {
+		t.Fatal("withdrawal without exactly one help write not caught")
+	}
+}
+
+func TestCheckerCatchesI2MissingBankWrite(t *testing.T) {
+	m, c := newCheckerHarness(t, 2)
+	g := core.Geom(2)
+	xw := m.words[wordKey{mem.WordX, 0}]
+	// Two X changes with no Bank write in the second epoch.
+	c.OnMutate(xw, 0, g.PackX(0, 0), g.PackX(6, 1), false)
+	c.OnMutate(xw, 1, g.PackX(6, 1), g.PackX(7, 2), false)
+	if !hasViolation(c, "I2") {
+		t.Fatal("missing Bank write not caught")
+	}
+}
+
+func TestCheckerCatchesI2WrongBankSlot(t *testing.T) {
+	m, c := newCheckerHarness(t, 2)
+	g := core.Geom(2)
+	xw := m.words[wordKey{mem.WordX, 0}]
+	bw := m.words[wordKey{mem.WordBank, 3}]
+	c.OnMutate(xw, 0, g.PackX(0, 0), g.PackX(6, 1), false)
+	// Epoch with X=(6,1): the only legal write is Bank[1] <- 6.
+	c.OnMutate(bw, 0, 3, 6, false)
+	c.OnMutate(xw, 1, g.PackX(6, 1), g.PackX(7, 2), false)
+	if !hasViolation(c, "I2") {
+		t.Fatal("wrong Bank slot write not caught")
+	}
+}
+
+func TestCheckerCatchesI2WriteInInitialEpoch(t *testing.T) {
+	m, c := newCheckerHarness(t, 2)
+	g := core.Geom(2)
+	xw := m.words[wordKey{mem.WordX, 0}]
+	bw := m.words[wordKey{mem.WordBank, 0}]
+	c.OnMutate(bw, 0, 0, 0, false) // Claim 1: no runtime write may happen here
+	c.OnMutate(xw, 0, g.PackX(0, 0), g.PackX(6, 1), false)
+	if !hasViolation(c, "claim1") {
+		t.Fatal("Bank write during initial epoch not caught")
+	}
+}
+
+func TestCheckerCatchesLemma3EarlyReuse(t *testing.T) {
+	m, c := newCheckerHarness(t, 2)
+	g := core.Geom(2)
+	m.sched.started = true
+	xw := m.words[wordKey{mem.WordX, 0}]
+	// Publish buffer 6, then write it after only one further X change.
+	c.OnMutate(xw, 0, g.PackX(0, 0), g.PackX(6, 1), false)
+	c.OnBufWrite(6, 1)
+	if !hasViolation(c, "lemma3") {
+		t.Fatal("early buffer reuse not caught")
+	}
+}
+
+func TestCheckerAllowsReuseAfter2N(t *testing.T) {
+	m, c := newCheckerHarness(t, 1) // 2N = 2
+	g := core.Geom(1)
+	m.sched.started = true
+	xw := m.words[wordKey{mem.WordX, 0}]
+	bw := m.words[wordKey{mem.WordBank, 0}]
+	b1 := m.words[wordKey{mem.WordBank, 1}]
+	// Three X changes with proper Bank maintenance, then reuse of the
+	// buffer published first: legal.
+	c.OnMutate(xw, 0, g.PackX(0, 0), g.PackX(2, 1), false)
+	c.OnMutate(b1, 0, 1, 2, false) // Bank[1] <- 2 during epoch (2,1)
+	c.OnMutate(xw, 0, g.PackX(2, 1), g.PackX(1, 0), false)
+	c.OnMutate(bw, 0, 0, 1, false) // Bank[0] <- 1 during epoch (1,0)
+	c.OnMutate(xw, 0, g.PackX(1, 0), g.PackX(0, 1), false)
+	c.OnBufWrite(2, 0) // published 3 changes ago, 2N=2 -> legal
+	for _, v := range c.Violations() {
+		t.Errorf("unexpected violation: %v", v)
+	}
+}
+
+func TestCheckerCatchesLemma4UnhelpedSlowReader(t *testing.T) {
+	m, c := newCheckerHarness(t, 2) // 2N-1 = 3
+	g := core.Geom(2)
+	xw := m.words[wordKey{mem.WordX, 0}]
+	c.OnTrace(0, mem.Event{Kind: mem.EvLLReadX})
+	// Four X changes while process 0 sits between Lines 2 and 4.
+	prev := g.PackX(0, 0)
+	for i := 1; i <= 4; i++ {
+		next := g.PackX(i%6, i%4)
+		c.OnMutate(xw, 1, prev, next, false)
+		prev = next
+	}
+	c.OnTrace(0, mem.Event{Kind: mem.EvLLCheckedHelp, Arg: 0}) // claims unhelped
+	if !hasViolation(c, "lemma4") {
+		t.Fatal("unhelped LL across 2N X-changes not caught")
+	}
+}
+
+func TestCheckerAllowsLemma4HelpedReader(t *testing.T) {
+	m, c := newCheckerHarness(t, 2)
+	g := core.Geom(2)
+	xw := m.words[wordKey{mem.WordX, 0}]
+	c.OnTrace(0, mem.Event{Kind: mem.EvLLReadX})
+	prev := g.PackX(0, 0)
+	for i := 1; i <= 4; i++ {
+		next := g.PackX(i%6, i%4)
+		c.OnMutate(xw, 1, prev, next, false)
+		prev = next
+	}
+	c.OnTrace(0, mem.Event{Kind: mem.EvLLCheckedHelp, Arg: 1}) // helped: fine
+	if hasViolation(c, "lemma4") {
+		t.Fatal("helped LL flagged by lemma4 checker")
+	}
+}
+
+func TestCheckerCatchesConcurrentBufferWriters(t *testing.T) {
+	m, c := newCheckerHarness(t, 2)
+	m.buffers[0].writers[3] = 2 // synthesize two writers inside BUF[3]
+	c.CheckStep()
+	if !hasViolation(c, "exclusive-writer") {
+		t.Fatal("concurrent buffer writers not caught")
+	}
+}
+
+func TestCheckFinalCatchesTrailingEpochGarbage(t *testing.T) {
+	m, c := newCheckerHarness(t, 2)
+	g := core.Geom(2)
+	xw := m.words[wordKey{mem.WordX, 0}]
+	bw3 := m.words[wordKey{mem.WordBank, 3}]
+	c.OnMutate(xw, 0, g.PackX(0, 0), g.PackX(6, 1), false)
+	// Trailing epoch has X=(6,1); a write to Bank[3] is illegal.
+	c.OnMutate(bw3, 0, 3, 9, false)
+	c.CheckFinal()
+	if !hasViolation(c, "I2(final)") {
+		t.Fatal("trailing-epoch Bank write not caught")
+	}
+}

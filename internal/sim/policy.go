@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Policy picks the next process to step. runnable is non-empty and sorted
+// ascending; the choice must be one of its elements. Policies are the
+// adversary of the wait-freedom claim: any policy, however unfair to some
+// processes, must leave every operation O(W)-bounded in its own steps.
+type Policy interface {
+	// Next returns the process to grant the next step.
+	Next(runnable []int, step int) int
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// RoundRobin cycles through runnable processes.
+type RoundRobin struct {
+	last int
+}
+
+// NewRoundRobin returns a fair round-robin policy.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{last: -1} }
+
+// Next implements Policy.
+func (r *RoundRobin) Next(runnable []int, step int) int {
+	for _, p := range runnable {
+		if p > r.last {
+			r.last = p
+			return p
+		}
+	}
+	r.last = runnable[0]
+	return runnable[0]
+}
+
+// Name implements Policy.
+func (r *RoundRobin) Name() string { return "roundrobin" }
+
+// Random picks uniformly among runnable processes with a seeded generator;
+// same seed, same schedule.
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom returns a seeded uniform-random policy.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Policy.
+func (r *Random) Next(runnable []int, step int) int {
+	return runnable[r.rng.Intn(len(runnable))]
+}
+
+// Name implements Policy.
+func (r *Random) Name() string { return "random" }
+
+// Starve schedules Victim only once every Every steps (or when it is the
+// only runnable process), delegating other choices to Inner. It forces the
+// paper's helping path: the victim's buffer reads span many successful SCs
+// by others, so its LLs complete via Help[victim].
+type Starve struct {
+	// Victim is the starved process.
+	Victim int
+	// Every is the starvation period; the victim runs on steps that are
+	// multiples of Every.
+	Every int
+	// Inner chooses among the non-victim processes.
+	Inner Policy
+}
+
+// Next implements Policy.
+func (s *Starve) Next(runnable []int, step int) int {
+	victimIn := false
+	others := make([]int, 0, len(runnable))
+	for _, p := range runnable {
+		if p == s.Victim {
+			victimIn = true
+		} else {
+			others = append(others, p)
+		}
+	}
+	if victimIn && (len(others) == 0 || step%s.Every == 0) {
+		return s.Victim
+	}
+	if len(others) == 0 {
+		return s.Victim
+	}
+	return s.Inner.Next(others, step)
+}
+
+// Name implements Policy.
+func (s *Starve) Name() string {
+	return fmt.Sprintf("starve(p%d,1/%d,%s)", s.Victim, s.Every, s.Inner.Name())
+}
+
+// Burst lets each chosen process run a fixed number of consecutive steps
+// before re-choosing via Inner; long bursts stress buffer-reuse windows.
+type Burst struct {
+	// Len is the burst length in steps.
+	Len int
+	// Inner chooses the next burst owner.
+	Inner Policy
+
+	current int
+	left    int
+}
+
+// Next implements Policy.
+func (b *Burst) Next(runnable []int, step int) int {
+	if b.left > 0 {
+		for _, p := range runnable {
+			if p == b.current {
+				b.left--
+				return p
+			}
+		}
+	}
+	b.current = b.Inner.Next(runnable, step)
+	b.left = b.Len - 1
+	return b.current
+}
+
+// Name implements Policy.
+func (b *Burst) Name() string {
+	return fmt.Sprintf("burst(%d,%s)", b.Len, b.Inner.Name())
+}

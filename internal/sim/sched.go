@@ -1,0 +1,236 @@
+// Package sim executes the multiword LL/SC algorithm under a deterministic,
+// adversarially controlled scheduler, with every shared-memory access as an
+// atomic step. It is the verification substrate for the paper's §3 proof:
+//
+//   - arbitrary interleavings (seeded random / round-robin / starvation
+//     policies), process crashes, and safe-register torn reads;
+//   - runtime checking of the proof's invariants (I1), (I2) and Lemmas 2-3;
+//   - exact step accounting per operation, turning Theorem 1's O(W) time
+//     bound into an assertable inequality;
+//   - deterministic histories for the linearizability checker.
+//
+// The concurrency model matches the paper's: N asynchronous processes, one
+// shared-memory step at a time, scheduled by an adversary. Technically the
+// processes are goroutines, but exactly one is ever runnable: the scheduler
+// grants a token, the process executes through its next shared access, then
+// parks. All simulator state is therefore accessed race-free, in an order
+// fully determined by the policy and seed.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// killed is the panic payload used to unwind parked processes at shutdown.
+type killed struct{}
+
+type ackMsg struct {
+	p    int
+	done bool
+	err  error
+}
+
+// Sched is the deterministic step scheduler. Create with NewSched, register
+// AfterStep hooks, then Run.
+type Sched struct {
+	n        int
+	policy   Policy
+	maxSteps int
+	crashes  map[int]int // process -> step index at which it crashes
+
+	step    int
+	started bool
+
+	token []chan struct{}
+	ack   chan ackMsg
+	kill  chan struct{}
+	wg    sync.WaitGroup
+
+	parked   []bool
+	crashed  []bool
+	finished []bool
+	stepsOf  []int // steps granted to each process
+
+	afterStep []func()
+	errs      []error
+}
+
+// NewSched returns a scheduler for n processes under the given policy.
+// maxSteps bounds the total number of shared-memory steps (a livelock
+// fuse — the algorithm under test is wait-free, so generous bounds are
+// never hit by correct runs). crashes maps process ids to the step at
+// which they permanently stop being scheduled (nil for none).
+func NewSched(n int, policy Policy, maxSteps int, crashes map[int]int) *Sched {
+	s := &Sched{
+		n:        n,
+		policy:   policy,
+		maxSteps: maxSteps,
+		crashes:  crashes,
+		token:    make([]chan struct{}, n),
+		ack:      make(chan ackMsg, 2*n),
+		kill:     make(chan struct{}),
+		parked:   make([]bool, n),
+		crashed:  make([]bool, n),
+		finished: make([]bool, n),
+		stepsOf:  make([]int, n),
+	}
+	for p := range s.token {
+		s.token[p] = make(chan struct{})
+	}
+	return s
+}
+
+// AfterStep registers a hook invoked after every completed step (and once
+// before the first), while all processes are parked; hooks may safely read
+// all simulator state. Register before Run.
+func (s *Sched) AfterStep(h func()) { s.afterStep = append(s.afterStep, h) }
+
+// Step returns the number of steps granted so far. Safe to call from the
+// running process (everyone else is parked) and from hooks.
+func (s *Sched) Step() int { return s.step }
+
+// StepsOf returns the number of steps granted to process p so far.
+func (s *Sched) StepsOf(p int) int { return s.stepsOf[p] }
+
+// Crashed reports whether p was crashed by the adversary.
+func (s *Sched) Crashed(p int) bool { return s.crashed[p] }
+
+// Yield parks the calling process p until the scheduler grants it a step.
+// Called by the simulated memory before every shared access. Outside Run
+// (the single-threaded setup phase) it is a no-op.
+func (s *Sched) Yield(p int) {
+	if !s.started {
+		return
+	}
+	select {
+	case s.ack <- ackMsg{p: p}:
+	case <-s.kill:
+		panic(killed{})
+	}
+	select {
+	case <-s.token[p]:
+	case <-s.kill:
+		panic(killed{})
+	}
+}
+
+// Run executes fns[p] as process p for each p, scheduling their shared
+// accesses one at a time until every non-crashed process returns (or the
+// step budget is exhausted). It returns all errors collected: process
+// panics, step-budget exhaustion, and errors appended by hooks via Fail.
+func (s *Sched) Run(fns []func(p int)) []error {
+	if len(fns) != s.n {
+		return []error{fmt.Errorf("sim: %d functions for %d processes", len(fns), s.n)}
+	}
+	s.started = true
+	for p := range fns {
+		s.wg.Add(1)
+		go s.runProc(p, fns[p])
+	}
+
+	awaited := s.n // acks outstanding before all live processes are parked
+	for {
+		aborted := false
+		for awaited > 0 {
+			m := <-s.ack
+			if m.err != nil {
+				s.errs = append(s.errs, m.err)
+				aborted = true
+			}
+			if m.done {
+				s.finished[m.p] = true
+			} else {
+				s.parked[m.p] = true
+			}
+			awaited--
+		}
+		if aborted {
+			break
+		}
+		for _, h := range s.afterStep {
+			h()
+		}
+		for p, when := range s.crashes {
+			if s.step >= when {
+				s.crashed[p] = true
+			}
+		}
+
+		runnable := s.runnable()
+		if len(runnable) == 0 {
+			break // every non-crashed process finished
+		}
+		if s.step >= s.maxSteps {
+			s.errs = append(s.errs, fmt.Errorf(
+				"sim: step budget %d exhausted with %d processes unfinished",
+				s.maxSteps, len(runnable)))
+			break
+		}
+
+		p := s.policy.Next(runnable, s.step)
+		if !s.parked[p] || s.crashed[p] || s.finished[p] {
+			s.errs = append(s.errs, fmt.Errorf("sim: policy %s chose invalid process %d", s.policy.Name(), p))
+			break
+		}
+		s.step++
+		s.stepsOf[p]++
+		s.parked[p] = false
+		awaited = 1
+		s.token[p] <- struct{}{}
+	}
+
+	s.abort()
+	return s.errs
+}
+
+// runnable lists parked, non-crashed, unfinished processes in ascending
+// order (so policies are deterministic).
+func (s *Sched) runnable() []int {
+	var r []int
+	for p := 0; p < s.n; p++ {
+		if s.parked[p] && !s.crashed[p] && !s.finished[p] {
+			r = append(r, p)
+		}
+	}
+	sort.Ints(r)
+	return r
+}
+
+func (s *Sched) runProc(p int, fn func(p int)) {
+	defer s.wg.Done()
+	defer func() {
+		r := recover()
+		switch r := r.(type) {
+		case nil:
+			s.ack <- ackMsg{p: p, done: true}
+		case killed:
+			s.ack <- ackMsg{p: p, done: true}
+		default:
+			s.ack <- ackMsg{p: p, done: true, err: fmt.Errorf("sim: process %d panicked: %v", p, r)}
+		}
+	}()
+	fn(p)
+}
+
+// abort unwinds all parked processes and joins every goroutine.
+func (s *Sched) abort() {
+	close(s.kill)
+	// Drain acks so no process blocks sending its final done message.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.wg.Wait()
+	}()
+	for {
+		select {
+		case m := <-s.ack:
+			if m.err != nil {
+				s.errs = append(s.errs, m.err)
+			}
+		case <-done:
+			return
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSchedRunsAllProcesses(t *testing.T) {
+	s := NewSched(4, NewRoundRobin(), 1000, nil)
+	ran := make([]int, 4)
+	fns := make([]func(int), 4)
+	for p := range fns {
+		fns[p] = func(p int) {
+			for i := 0; i < 5; i++ {
+				s.Yield(p)
+				ran[p]++
+			}
+		}
+	}
+	if errs := s.Run(fns); len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	for p, c := range ran {
+		if c != 5 {
+			t.Fatalf("process %d ran %d steps, want 5", p, c)
+		}
+	}
+	if s.Step() != 20 {
+		t.Fatalf("total steps %d, want 20", s.Step())
+	}
+}
+
+func TestSchedStepBudget(t *testing.T) {
+	s := NewSched(1, NewRoundRobin(), 10, nil)
+	fns := []func(int){func(p int) {
+		for {
+			s.Yield(p) // never finishes; the budget must fire
+		}
+	}}
+	errs := s.Run(fns)
+	if len(errs) == 0 {
+		t.Fatal("no error despite exhausted budget")
+	}
+}
+
+func TestSchedPropagatesPanic(t *testing.T) {
+	s := NewSched(2, NewRoundRobin(), 1000, nil)
+	fns := []func(int){
+		func(p int) { s.Yield(p) },
+		func(p int) { s.Yield(p); panic(errors.New("boom")) },
+	}
+	errs := s.Run(fns)
+	found := false
+	for _, e := range errs {
+		if e != nil && e.Error() != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("panic not propagated")
+	}
+}
+
+func TestSchedCrashStopsProcess(t *testing.T) {
+	s := NewSched(2, NewRoundRobin(), 1000, map[int]int{1: 3})
+	steps := make([]int, 2)
+	fns := []func(int){
+		func(p int) {
+			for i := 0; i < 10; i++ {
+				s.Yield(p)
+				steps[p]++
+			}
+		},
+		func(p int) {
+			for i := 0; i < 10; i++ {
+				s.Yield(p)
+				steps[p]++
+			}
+		},
+	}
+	if errs := s.Run(fns); len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	if steps[0] != 10 {
+		t.Fatalf("survivor ran %d steps, want 10", steps[0])
+	}
+	if steps[1] >= 10 {
+		t.Fatalf("crashed process ran to completion (%d steps)", steps[1])
+	}
+	if !s.Crashed(1) {
+		t.Fatal("Crashed(1) = false")
+	}
+}
+
+func TestSchedAfterStepHookSeesQuiescentState(t *testing.T) {
+	s := NewSched(2, NewRoundRobin(), 1000, nil)
+	calls := 0
+	s.AfterStep(func() { calls++ })
+	fns := []func(int){
+		func(p int) { s.Yield(p); s.Yield(p) },
+		func(p int) { s.Yield(p) },
+	}
+	if errs := s.Run(fns); len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	// Hooks run once before the first grant and once after each step.
+	if calls < 3 {
+		t.Fatalf("AfterStep ran %d times, want >= 3", calls)
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	rr := NewRoundRobin()
+	runnable := []int{0, 1, 2}
+	got := []int{
+		rr.Next(runnable, 0), rr.Next(runnable, 1), rr.Next(runnable, 2),
+		rr.Next(runnable, 3),
+	}
+	want := []int{0, 1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round-robin sequence %v, want %v", got, want)
+		}
+	}
+	// Skips non-runnable processes.
+	if p := rr.Next([]int{2}, 4); p != 2 {
+		t.Fatalf("Next([2]) = %d", p)
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a, b := NewRandom(7), NewRandom(7)
+	runnable := []int{0, 1, 2, 3, 4}
+	for i := 0; i < 100; i++ {
+		if x, y := a.Next(runnable, i), b.Next(runnable, i); x != y {
+			t.Fatalf("same-seed policies diverged at step %d: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestStarvePolicySchedulesVictimRarely(t *testing.T) {
+	p := &Starve{Victim: 0, Every: 10, Inner: NewRoundRobin()}
+	runnable := []int{0, 1, 2}
+	victims := 0
+	for step := 1; step <= 100; step++ {
+		if p.Next(runnable, step) == 0 {
+			victims++
+		}
+	}
+	if victims == 0 || victims > 15 {
+		t.Fatalf("victim scheduled %d/100 times, want rare but nonzero", victims)
+	}
+	// Victim must still be chosen when alone.
+	if p.Next([]int{0}, 3) != 0 {
+		t.Fatal("victim not scheduled when it is the only runnable process")
+	}
+}
+
+func TestBurstPolicyRunsBursts(t *testing.T) {
+	b := &Burst{Len: 4, Inner: NewRoundRobin()}
+	runnable := []int{0, 1}
+	first := b.Next(runnable, 0)
+	for i := 1; i < 4; i++ {
+		if p := b.Next(runnable, i); p != first {
+			t.Fatalf("burst broke at %d: %d != %d", i, p, first)
+		}
+	}
+	if p := b.Next(runnable, 4); p == first {
+		t.Fatal("burst did not rotate after Len steps")
+	}
+}

@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mwllsc/internal/check"
+)
+
+// requireClean fails the test if the run reported any violation.
+func requireClean(t *testing.T, res *Result, label string) {
+	t.Helper()
+	for _, v := range res.Violations {
+		t.Errorf("%s: %v", label, v)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+}
+
+func TestRandomSchedulesCleanAndLinearizable(t *testing.T) {
+	configs := []struct{ n, w, ops int }{
+		{1, 1, 6},
+		{2, 2, 5},
+		{3, 4, 4},
+		{4, 3, 3},
+	}
+	for _, cfg := range configs {
+		for seed := int64(0); seed < 25; seed++ {
+			res, err := Run(Config{
+				N: cfg.n, W: cfg.w, OpsPerProc: cfg.ops, Seed: seed, VLEvery: 2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			label := fmt.Sprintf("n%d w%d seed%d", cfg.n, cfg.w, seed)
+			requireClean(t, res, label)
+			if len(res.History) <= check.MaxOps {
+				if err := check.CheckLLSC(res.History, "0"); err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{N: 3, W: 4, OpsPerProc: 5, Seed: 42, VLEvery: 3, TornReads: true}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Steps != b.Steps {
+		t.Fatalf("steps differ: %d vs %d", a.Steps, b.Steps)
+	}
+	if !reflect.DeepEqual(a.History, b.History) {
+		t.Fatal("histories differ across identical runs")
+	}
+	if a.TornReads != b.TornReads {
+		t.Fatalf("torn-read counts differ: %d vs %d", a.TornReads, b.TornReads)
+	}
+}
+
+func TestRoundRobinAndBurstPolicies(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		policy Policy
+	}{
+		{"roundrobin", NewRoundRobin()},
+		{"burst", &Burst{Len: 7, Inner: NewRandom(5)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Run(Config{
+				N: 4, W: 4, OpsPerProc: 4, Seed: 9, Policy: tc.policy,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireClean(t, res, tc.name)
+			if len(res.History) <= check.MaxOps {
+				if err := check.CheckLLSC(res.History, "0"); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestStarvationForcesHelping pins the paper's helping mechanism: a reader
+// starved across many successful SCs must complete its LL via Help[p]
+// (paper §2.2), still satisfying all invariants and linearizability.
+func TestStarvationForcesHelping(t *testing.T) {
+	helpedSomewhere := false
+	for seed := int64(0); seed < 10; seed++ {
+		res, err := Run(Config{
+			N: 3, W: 6, OpsPerProc: 4, Seed: seed,
+			// The victim gets one step per 150; with N=3, 2N=6 successful
+			// SCs by the other two easily overlap its buffer read.
+			Policy:    &Starve{Victim: 0, Every: 150, Inner: NewRandom(seed)},
+			TornReads: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireClean(t, res, fmt.Sprintf("seed%d", seed))
+		if len(res.History) <= check.MaxOps {
+			if err := check.CheckLLSC(res.History, "0"); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+		if res.Stats.LLHelped > 0 {
+			helpedSomewhere = true
+		}
+	}
+	if !helpedSomewhere {
+		t.Fatal("no LL was ever helped under starvation; the adversary is too weak")
+	}
+}
+
+// TestTornReadsHappenAndAreHarmless verifies the safe-register adversary
+// actually fires (garbage was returned) and the algorithm still behaves.
+func TestTornReadsHappenAndAreHarmless(t *testing.T) {
+	var totalTorn int64
+	for seed := int64(0); seed < 12; seed++ {
+		res, err := Run(Config{
+			N: 3, W: 8, OpsPerProc: 14, Seed: seed,
+			// The victim advances one step per 250 while the other two
+			// processes cycle buffers through many successful SCs, so its
+			// multi-step buffer reads overlap reuse writes.
+			Policy:    &Starve{Victim: 1, Every: 250, Inner: NewRandom(seed * 3)},
+			TornReads: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireClean(t, res, fmt.Sprintf("seed%d", seed))
+		if len(res.History) <= check.MaxOps {
+			if err := check.CheckLLSC(res.History, "0"); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+		totalTorn += res.TornReads
+	}
+	if totalTorn == 0 {
+		t.Fatal("no torn read ever occurred; the safe-register adversary is vacuous")
+	}
+}
+
+// TestCrashWaitFreedom crashes processes mid-run; the survivors must
+// complete every operation and invariants must hold throughout — the
+// wait-freedom claim.
+func TestCrashWaitFreedom(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		res, err := Run(Config{
+			N: 4, W: 4, OpsPerProc: 6, Seed: seed,
+			Crashes: map[int]int{1: 40, 3: 90},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireClean(t, res, fmt.Sprintf("seed%d", seed))
+		// Survivors completed all their SC rounds (completions are in the
+		// history: OpsPerProc SC records each).
+		counts := map[int]int{}
+		for _, op := range res.History {
+			if op.Kind == check.OpSC {
+				counts[op.Proc]++
+			}
+		}
+		for _, p := range []int{0, 2} {
+			if counts[p] != 6 {
+				t.Fatalf("seed %d: survivor %d completed %d/6 SCs", seed, p, counts[p])
+			}
+		}
+	}
+}
+
+// TestCrashMidAnnounceDoesNotBlockOthers crashes a process very early —
+// plausibly between its announcement and withdrawal — and checks survivors
+// still run to completion.
+func TestCrashMidAnnounceDoesNotBlockOthers(t *testing.T) {
+	for _, crashStep := range []int{1, 2, 3, 5, 8, 13, 21} {
+		res, err := Run(Config{
+			N: 3, W: 4, OpsPerProc: 5, Seed: int64(crashStep),
+			Crashes: map[int]int{0: crashStep},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireClean(t, res, fmt.Sprintf("crash@%d", crashStep))
+	}
+}
+
+// TestTheorem1StepBounds asserts the exact wait-free step bounds of this
+// implementation under the simulator's cost model (each word access = 1
+// step, a W-word buffer write = W+2 steps):
+//
+//	LL <= 4W+11, SC <= W+10, VL = 1.
+//
+// The bounds hold for every process under every schedule, including
+// starvation — Theorem 1's O(W)/O(W)/O(1) made concrete.
+func TestTheorem1StepBounds(t *testing.T) {
+	for _, w := range []int{1, 2, 8, 32} {
+		for seed := int64(0); seed < 6; seed++ {
+			for _, policy := range []Policy{
+				NewRandom(seed),
+				&Starve{Victim: 0, Every: 100, Inner: NewRandom(seed)},
+			} {
+				res, err := Run(Config{
+					N: 3, W: w, OpsPerProc: 5, Seed: seed, VLEvery: 2, Policy: policy,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireClean(t, res, fmt.Sprintf("w%d seed%d", w, seed))
+				if res.MaxLLSteps > 4*w+11 {
+					t.Errorf("w=%d seed=%d policy=%s: LL took %d steps > bound %d",
+						w, seed, policy.Name(), res.MaxLLSteps, 4*w+11)
+				}
+				if res.MaxSCSteps > w+10 {
+					t.Errorf("w=%d seed=%d policy=%s: SC took %d steps > bound %d",
+						w, seed, policy.Name(), res.MaxSCSteps, w+10)
+				}
+				if res.MaxVLSteps > 1 {
+					t.Errorf("w=%d seed=%d policy=%s: VL took %d steps > 1",
+						w, seed, policy.Name(), res.MaxVLSteps)
+				}
+			}
+		}
+	}
+}
+
+// TestSCSuccessesAccumulate sanity-checks that contended runs actually
+// perform successful SCs from several processes.
+func TestSCSuccessesAccumulate(t *testing.T) {
+	res, err := Run(Config{N: 4, W: 2, OpsPerProc: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireClean(t, res, "accumulate")
+	var total int64
+	for _, c := range res.SCSuccessesByProc {
+		total += c
+	}
+	if total < 10 {
+		t.Fatalf("only %d successful SCs across the run", total)
+	}
+	if res.Stats.SCSuccess != total {
+		t.Fatalf("stats disagree: %d vs %d", res.Stats.SCSuccess, total)
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	if _, err := Run(Config{N: 0, W: 1}); err == nil {
+		t.Fatal("accepted N=0")
+	}
+	if _, err := Run(Config{N: 1, W: 0}); err == nil {
+		t.Fatal("accepted W=0")
+	}
+}

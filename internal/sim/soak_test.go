@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"mwllsc/internal/check"
+)
+
+// TestSoakCombinedAdversaries sweeps process counts, widths, and stacked
+// adversaries (starvation + torn reads + crashes together) across many
+// seeds. Skipped with -short; this is the long-haul confidence run behind
+// experiment V1.
+func TestSoakCombinedAdversaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test; skipped with -short")
+	}
+	configs := []struct {
+		n, w, ops int
+	}{
+		{2, 1, 8},
+		{2, 7, 6},
+		{3, 3, 6},
+		{4, 5, 4},
+		{5, 2, 4},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(fmt.Sprintf("n%d_w%d", cfg.n, cfg.w), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < 40; seed++ {
+				mode := seed % 4
+				rc := Config{
+					N: cfg.n, W: cfg.w, OpsPerProc: cfg.ops, Seed: seed, VLEvery: 2,
+				}
+				switch mode {
+				case 1:
+					rc.TornReads = true
+					rc.Policy = &Starve{Victim: int(seed) % cfg.n, Every: 180, Inner: NewRandom(seed)}
+				case 2:
+					rc.TornReads = true
+					rc.Policy = &Burst{Len: 11, Inner: NewRandom(seed * 31)}
+				case 3:
+					rc.TornReads = true
+					rc.Crashes = map[int]int{int(seed) % cfg.n: 15 + int(seed%80)}
+					rc.Policy = &Starve{Victim: int(seed+1) % cfg.n, Every: 120, Inner: NewRandom(seed)}
+				}
+				res, err := Run(rc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, v := range res.Violations {
+					t.Fatalf("seed %d mode %d: %v", seed, mode, v)
+				}
+				if res.MaxLLSteps > 4*cfg.w+11 || res.MaxSCSteps > cfg.w+10 || res.MaxVLSteps > 1 {
+					t.Fatalf("seed %d mode %d: step bounds exceeded (LL %d, SC %d, VL %d)",
+						seed, mode, res.MaxLLSteps, res.MaxSCSteps, res.MaxVLSteps)
+				}
+				// Linearizability whenever the history fits the checker
+				// and no process crashed mid-operation.
+				if mode != 3 && len(res.History) <= check.MaxOps {
+					if err := check.CheckLLSC(res.History, "0"); err != nil {
+						t.Fatalf("seed %d mode %d: %v", seed, mode, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSoakExploreWithTornReads combines systematic exploration with the
+// safe-register adversary on a tiny configuration.
+func TestSoakExploreWithTornReads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test; skipped with -short")
+	}
+	res, err := Explore(ExploreConfig{
+		N: 2, W: 2, OpsPerProc: 2, Seed: 5, MaxPreemptions: 2,
+		TornReads: true, MaxRuns: 6000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) > 0 {
+		f := res.Findings[0]
+		t.Fatalf("failing schedule, prefix %v: %v", f.Prefix, f.Errs)
+	}
+	if res.Runs < 500 {
+		t.Fatalf("only %d schedules explored", res.Runs)
+	}
+}

@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"mwllsc/internal/mem"
+)
+
+// TraceLogger is an Observer that writes a human-readable line per memory
+// mutation and algorithm event — the "execution transcript" view used by
+// llsccheck -dump for debugging schedules.
+type TraceLogger struct {
+	W io.Writer
+	m *Memory
+}
+
+// NewTraceLogger returns a logger writing to w, reading step numbers from m.
+func NewTraceLogger(w io.Writer, m *Memory) *TraceLogger {
+	return &TraceLogger{W: w, m: m}
+}
+
+// OnMutate implements Observer.
+func (l *TraceLogger) OnMutate(w *Word, p int, old, new uint64, isWrite bool) {
+	op := "SC!"
+	if isWrite {
+		op = "W"
+	}
+	fmt.Fprintf(l.W, "%6d  p%d  %s %s[%d]: %#x -> %#x\n",
+		l.m.sched.Step(), p, op, w.Kind(), w.Idx(), old, new)
+}
+
+// OnBufWrite implements Observer.
+func (l *TraceLogger) OnBufWrite(buf, p int) {
+	fmt.Fprintf(l.W, "%6d  p%d  writebuf BUF[%d]\n", l.m.sched.Step(), p, buf)
+}
+
+// OnTrace implements Observer.
+func (l *TraceLogger) OnTrace(p int, ev mem.Event) {
+	fmt.Fprintf(l.W, "%6d  p%d  event %s(%d)\n", l.m.sched.Step(), p, ev.Kind, ev.Arg)
+}
+
+var _ Observer = (*TraceLogger)(nil)

@@ -1,0 +1,58 @@
+package vcodec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBytesRoundTrip fuzzes the byte-string codec: whatever fits must come
+// back identical, and nothing may panic.
+func FuzzBytesRoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("a"))
+	f.Add([]byte("exactly8"))
+	f.Add([]byte("nine byte"))
+	f.Add(bytes.Repeat([]byte{0xff}, 65))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		words := make([]uint64, Words(len(b)))
+		w := NewWriter(words)
+		if err := w.PutBytes(b); err != nil {
+			t.Fatalf("PutBytes(%d bytes) into exact-size vector: %v", len(b), err)
+		}
+		got, err := NewReader(words).Bytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, b) {
+			t.Fatalf("round trip mismatch: %x -> %x", b, got)
+		}
+	})
+}
+
+// FuzzReaderNeverPanics feeds arbitrary word vectors to the reader; every
+// decode must return a value or an error, never panic or over-read.
+func FuzzReaderNeverPanics(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		words := make([]uint64, len(raw)/8)
+		for i := range words {
+			for j := 0; j < 8; j++ {
+				words[i] |= uint64(raw[i*8+j]) << (8 * j)
+			}
+		}
+		r := NewReader(words)
+		for {
+			if _, err := r.Bytes(); err != nil {
+				break
+			}
+		}
+		// A second pass with scalar decodes on whatever is left.
+		r2 := NewReader(words)
+		for {
+			if _, err := r2.Uint64(); err != nil {
+				break
+			}
+		}
+	})
+}

@@ -1,0 +1,147 @@
+// Package vcodec encodes typed records into the fixed-width []uint64 word
+// vectors that multiword LL/SC variables store. Applications that keep a
+// small struct (balances, sensor readings, a queue header) in a W-word
+// variable use a Writer to lay the fields out and a Reader to take them
+// apart; both are cursor-based and bounds-checked.
+package vcodec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrOverflow is returned when a value does not fit the remaining words.
+var ErrOverflow = errors.New("vcodec: record does not fit the word vector")
+
+// Words returns how many words a byte payload of length n occupies when
+// written with PutBytes (one length word plus ceil(n/8) payload words).
+func Words(n int) int { return 1 + (n+7)/8 }
+
+// Writer lays fields into a word vector front to back.
+type Writer struct {
+	words []uint64
+	pos   int
+}
+
+// NewWriter returns a Writer over words (the caller's slice is written in
+// place).
+func NewWriter(words []uint64) *Writer { return &Writer{words: words} }
+
+// Pos returns the next word index to be written.
+func (w *Writer) Pos() int { return w.pos }
+
+// PutUint64 appends one word.
+func (w *Writer) PutUint64(v uint64) error {
+	if w.pos >= len(w.words) {
+		return ErrOverflow
+	}
+	w.words[w.pos] = v
+	w.pos++
+	return nil
+}
+
+// PutInt64 appends a signed word (two's complement).
+func (w *Writer) PutInt64(v int64) error { return w.PutUint64(uint64(v)) }
+
+// PutFloat64 appends an IEEE-754 double.
+func (w *Writer) PutFloat64(v float64) error { return w.PutUint64(math.Float64bits(v)) }
+
+// PutBytes appends a length-prefixed byte string, padding the final word
+// with zeros.
+func (w *Writer) PutBytes(b []byte) error {
+	need := Words(len(b))
+	if w.pos+need > len(w.words) {
+		return ErrOverflow
+	}
+	w.words[w.pos] = uint64(len(b))
+	w.pos++
+	for i := 0; i < len(b); i += 8 {
+		var word uint64
+		for j := 0; j < 8 && i+j < len(b); j++ {
+			word |= uint64(b[i+j]) << (8 * j)
+		}
+		w.words[w.pos] = word
+		w.pos++
+	}
+	return nil
+}
+
+// PutString appends a length-prefixed string.
+func (w *Writer) PutString(s string) error { return w.PutBytes([]byte(s)) }
+
+// Reader takes fields out of a word vector front to back.
+type Reader struct {
+	words []uint64
+	pos   int
+}
+
+// NewReader returns a Reader over words.
+func NewReader(words []uint64) *Reader { return &Reader{words: words} }
+
+// Pos returns the next word index to be read.
+func (r *Reader) Pos() int { return r.pos }
+
+// Uint64 reads one word.
+func (r *Reader) Uint64() (uint64, error) {
+	if r.pos >= len(r.words) {
+		return 0, ErrOverflow
+	}
+	v := r.words[r.pos]
+	r.pos++
+	return v, nil
+}
+
+// Int64 reads a signed word.
+func (r *Reader) Int64() (int64, error) {
+	v, err := r.Uint64()
+	return int64(v), err
+}
+
+// Float64 reads an IEEE-754 double.
+func (r *Reader) Float64() (float64, error) {
+	v, err := r.Uint64()
+	return math.Float64frombits(v), err
+}
+
+// Bytes reads a length-prefixed byte string.
+func (r *Reader) Bytes() ([]byte, error) {
+	n, err := r.Uint64()
+	if err != nil {
+		return nil, err
+	}
+	words := int(n+7) / 8
+	if r.pos+words > len(r.words) {
+		return nil, fmt.Errorf("%w: %d payload words past end", ErrOverflow, words)
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(r.words[r.pos+i/8] >> (8 * (i % 8)))
+	}
+	r.pos += words
+	return b, nil
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() (string, error) {
+	b, err := r.Bytes()
+	return string(b), err
+}
+
+// FromInt64s converts a signed slice to words.
+func FromInt64s(vs []int64) []uint64 {
+	out := make([]uint64, len(vs))
+	for i, v := range vs {
+		out[i] = uint64(v)
+	}
+	return out
+}
+
+// ToInt64s converts words to a signed slice.
+func ToInt64s(ws []uint64) []int64 {
+	out := make([]int64, len(ws))
+	for i, w := range ws {
+		out[i] = int64(w)
+	}
+	return out
+}

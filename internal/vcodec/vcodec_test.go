@@ -1,0 +1,124 @@
+package vcodec
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	words := make([]uint64, 16)
+	w := NewWriter(words)
+	if err := w.PutUint64(42); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.PutInt64(-7); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.PutFloat64(3.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.PutString("hello multiword"); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(words)
+	if v, _ := r.Uint64(); v != 42 {
+		t.Fatalf("Uint64 = %d", v)
+	}
+	if v, _ := r.Int64(); v != -7 {
+		t.Fatalf("Int64 = %d", v)
+	}
+	if v, _ := r.Float64(); v != 3.5 {
+		t.Fatalf("Float64 = %v", v)
+	}
+	if s, _ := r.String(); s != "hello multiword" {
+		t.Fatalf("String = %q", s)
+	}
+	if r.Pos() != w.Pos() {
+		t.Fatalf("reader pos %d != writer pos %d", r.Pos(), w.Pos())
+	}
+}
+
+func TestQuickBytesRoundTrip(t *testing.T) {
+	f := func(b []byte) bool {
+		words := make([]uint64, Words(len(b))+1)
+		w := NewWriter(words)
+		if err := w.PutBytes(b); err != nil {
+			return false
+		}
+		got, err := NewReader(words).Bytes()
+		return err == nil && bytes.Equal(got, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickInt64sRoundTrip(t *testing.T) {
+	f := func(vs []int64) bool {
+		back := ToInt64s(FromInt64s(vs))
+		if len(back) != len(vs) {
+			return false
+		}
+		for i := range vs {
+			if back[i] != vs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFloatRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		words := make([]uint64, 1)
+		if err := NewWriter(words).PutFloat64(v); err != nil {
+			return false
+		}
+		got, err := NewReader(words).Float64()
+		if err != nil {
+			return false
+		}
+		return got == v || (math.IsNaN(got) && math.IsNaN(v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverflowDetected(t *testing.T) {
+	w := NewWriter(make([]uint64, 1))
+	if err := w.PutUint64(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.PutUint64(2); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("err = %v, want ErrOverflow", err)
+	}
+	if err := NewWriter(make([]uint64, 1)).PutString("too long"); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("err = %v, want ErrOverflow", err)
+	}
+
+	r := NewReader(nil)
+	if _, err := r.Uint64(); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("read err = %v, want ErrOverflow", err)
+	}
+	// A corrupt length prefix must not panic.
+	if _, err := NewReader([]uint64{1 << 40}).Bytes(); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("corrupt length err = %v, want ErrOverflow", err)
+	}
+}
+
+func TestWordsHelper(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 2, 8: 2, 9: 3, 16: 3, 17: 4}
+	for n, want := range cases {
+		if got := Words(n); got != want {
+			t.Errorf("Words(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package mwllsc
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHandleUpdateSequential(t *testing.T) {
+	obj, err := New(1, 2, []uint64{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := obj.Handle(0)
+	attempts := h.Update(func(v []uint64) {
+		v[0] += 5
+		v[1] += 5
+	})
+	if attempts != 1 {
+		t.Fatalf("uncontended Update took %d attempts", attempts)
+	}
+	got := h.LLNew()
+	if got[0] != 15 || got[1] != 25 {
+		t.Fatalf("value = %v", got)
+	}
+}
+
+func TestHandleReadDoesNotDisturbOthers(t *testing.T) {
+	obj, err := New(2, 1, []uint64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writer, reader := obj.Handle(0), obj.Handle(1)
+	v := make([]uint64, 1)
+	writer.LL(v)
+	reader.Read(v)
+	if v[0] != 1 {
+		t.Fatalf("Read = %v", v)
+	}
+	// The reader's Read must not have invalidated the writer's link.
+	if !writer.SC([]uint64{2}) {
+		t.Fatal("SC failed after another process's Read")
+	}
+}
+
+func TestHandleUpdateConcurrentExactlyOnce(t *testing.T) {
+	const (
+		n   = 8
+		ops = 2000
+	)
+	obj, err := New(n, 4, make([]uint64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := obj.Handle(p)
+			for i := 0; i < ops; i++ {
+				h.Update(func(v []uint64) {
+					for j := range v {
+						v[j]++
+					}
+				})
+			}
+		}(p)
+	}
+	wg.Wait()
+	got := obj.Handle(0).LLNew()
+	for j, x := range got {
+		if x != n*ops {
+			t.Fatalf("word %d = %d, want %d (lost or duplicated updates)", j, x, n*ops)
+		}
+	}
+}
