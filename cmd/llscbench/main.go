@@ -1,13 +1,16 @@
-// Command llscbench regenerates the experiment tables E1-E7 from DESIGN.md:
-// the empirical counterparts of the paper's Theorem 1 claims and of the
-// comparisons its introduction makes against the previous best algorithm.
+// Command llscbench regenerates the experiment tables E1-E9: the empirical
+// counterparts of the paper's Theorem 1 claims (E1-E7, DESIGN.md), plus
+// the scaling experiments for the sharded map and handle registry (E8-E9).
 //
 // Usage:
 //
-//	llscbench [-e e1,e3] [-impls jp,amstyle] [-dur 200ms] [-iters 50000] [-csv]
+//	llscbench [-e e1,e3] [-impls jp,amstyle] [-dur 200ms] [-iters 50000] [-csv] [-json out.json]
 //
 // With no -e flag every experiment runs. Results print as plain-text
-// tables; EXPERIMENTS.md records a reference run with commentary.
+// tables; EXPERIMENTS.md records a reference run with commentary. With
+// -json PATH the run is also written as a machine-readable Report
+// (internal/bench.Report) for archiving the BENCH_*.json perf trajectory;
+// PATH "-" writes JSON to stdout and suppresses the text tables.
 package main
 
 import (
@@ -28,11 +31,12 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("llscbench", flag.ContinueOnError)
 	var (
-		exps     = fs.String("e", "", "comma-separated experiments to run (e1..e7); empty = all")
+		exps     = fs.String("e", "", "comma-separated experiments to run (e1..e9); empty = all")
 		implList = fs.String("impls", "", "comma-separated implementations (default: all of "+strings.Join(impls.Names(), ",")+")")
 		dur      = fs.Duration("dur", 150*time.Millisecond, "measurement window per throughput point")
 		iters    = fs.Int("iters", 30000, "iterations per latency point")
 		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables (for plotting)")
+		jsonOut  = fs.String("json", "", "also write a machine-readable JSON report to this path (\"-\" = stdout only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -54,6 +58,8 @@ func run(args []string) int {
 		{"e5", bench.E5Substrate},
 		{"e6", bench.E6Applications},
 		{"e7", bench.E7Allocation},
+		{"e8", bench.E8Sharding},
+		{"e9", bench.E9Registry},
 	}
 
 	want := map[string]bool{}
@@ -63,7 +69,8 @@ func run(args []string) int {
 		}
 	}
 
-	ran := 0
+	jsonOnly := *jsonOut == "-"
+	var tables []*bench.Table
 	for _, b := range builders {
 		if len(want) > 0 && !want[b.id] {
 			continue
@@ -73,16 +80,38 @@ func run(args []string) int {
 			fmt.Fprintf(os.Stderr, "llscbench: %s: %v\n", b.id, err)
 			return 1
 		}
-		if *csv {
-			t.FprintCSV(os.Stdout)
-		} else {
-			t.Fprint(os.Stdout)
+		if t.ID == "" {
+			t.ID = b.id
 		}
-		ran++
+		if !jsonOnly {
+			if *csv {
+				t.FprintCSV(os.Stdout)
+			} else {
+				t.Fprint(os.Stdout)
+			}
+		}
+		tables = append(tables, t)
 	}
-	if ran == 0 {
+	if len(tables) == 0 {
 		fmt.Fprintf(os.Stderr, "llscbench: no experiment matched %q\n", *exps)
 		return 2
+	}
+	if *jsonOut != "" {
+		report := bench.NewReport(tables)
+		out := os.Stdout
+		if !jsonOnly {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "llscbench: %v\n", err)
+				return 1
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := report.WriteJSON(out); err != nil {
+			fmt.Fprintf(os.Stderr, "llscbench: writing JSON report: %v\n", err)
+			return 1
+		}
 	}
 	return 0
 }

@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mwllsc/internal/bench"
+)
 
 func TestRunSingleExperiment(t *testing.T) {
 	if code := run([]string{"-e", "e7", "-dur", "5ms", "-iters", "200", "-impls", "jp,gcptr"}); code != 0 {
@@ -29,5 +36,49 @@ func TestRunUnknownImpl(t *testing.T) {
 func TestRunBadFlag(t *testing.T) {
 	if code := run([]string{"-nope"}); code != 2 {
 		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+func TestRunShardExperiments(t *testing.T) {
+	if code := run([]string{"-e", "e8,e9", "-dur", "5ms", "-impls", "jp"}); code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+}
+
+func TestRunJSONReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if code := run([]string{"-e", "e7,e9", "-dur", "5ms", "-iters", "200", "-impls", "jp", "-json", path}); code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report bench.Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("JSON report does not parse: %v", err)
+	}
+	if report.Tool != "llscbench" || report.GoVersion == "" {
+		t.Fatalf("report header incomplete: %+v", report)
+	}
+	if len(report.Experiments) != 2 {
+		t.Fatalf("%d experiments in report, want 2", len(report.Experiments))
+	}
+	ids := map[string]bool{}
+	for _, e := range report.Experiments {
+		ids[e.ID] = true
+		if len(e.Rows) == 0 || len(e.Records) != len(e.Rows) {
+			t.Fatalf("experiment %s has %d rows / %d records", e.ID, len(e.Rows), len(e.Records))
+		}
+	}
+	if !ids["e7"] || !ids["e9"] {
+		t.Fatalf("report experiment ids = %v, want e7 and e9", ids)
+	}
+}
+
+func TestRunJSONToBadPath(t *testing.T) {
+	if code := run([]string{"-e", "e7", "-dur", "5ms", "-iters", "200", "-impls", "jp",
+		"-json", filepath.Join(t.TempDir(), "no", "such", "dir", "out.json")}); code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
 	}
 }

@@ -32,6 +32,37 @@
 // the identity the wait-freedom and helping guarantees attach to). Obtain a
 // Handle per process and keep it on that process's goroutine.
 //
+// # Scaling beyond N goroutines: the handle registry
+//
+// Goroutines are cheap and unbounded; process ids are neither. A Registry
+// (NewRegistry) multiplexes any number of goroutines onto the N slots:
+// Acquire checks out an exclusive id (blocking or spinning when all are
+// taken, per WaitPolicy), Release returns it. Inside an acquired slot
+// every operation keeps the paper's per-process guarantees; the only
+// waiting is for a slot itself, which is inherent — the object has exactly
+// N identities. Releasing an id that is not checked out (double release,
+// fabricated id) panics rather than silently aliasing two goroutines onto
+// one process; a stale release racing a re-acquire of the same id cannot
+// be detected, so release each id exactly once — Sharded handles enforce
+// this per handle.
+//
+// # Scaling beyond one object: sharding
+//
+// A single object serializes all successful SCs through one memory word,
+// so its aggregate update rate is bounded no matter how many cores are
+// available. Sharded (NewSharded) spreads keys by hash over K independent
+// objects that share one registry: an acquired id is valid on every
+// shard, per-key operations stay linearizable exactly as on a single
+// object, and updates to different shards proceed without interfering.
+// Sharded.Snapshot reads all K shards with per-shard LL + VL
+// revalidation: each shard's value is individually atomic (each LL already
+// is; the VL pass re-reads shards that changed mid-snapshot, trading
+// wait-freedom for freshness), but the K values are not cross-shard
+// linearizable — words that must move together atomically belong in the
+// same shard. The E8/E9 experiments
+// (cmd/llscbench) quantify the throughput gain vs K and the registry's
+// overhead.
+//
 // # Substrates
 //
 // The paper assumes hardware single-word LL/SC. On Go's sync/atomic this

@@ -1,0 +1,75 @@
+// Package examples_test keeps the runnable examples from rotting: every
+// example program must pass go vet, and the quick ones must actually run
+// to completion (each example self-checks its invariants and exits
+// non-zero on violation).
+package examples_test
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// goTool locates the go command; the test is skipped if the toolchain is
+// not on PATH (it always is in CI).
+func goTool(t *testing.T) string {
+	t.Helper()
+	path, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	return path
+}
+
+// repoRoot returns the module root (the parent of examples/).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Dir(wd)
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("no go.mod above examples/: %v", err)
+	}
+	return root
+}
+
+func TestExamplesVet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go tool; skipped with -short")
+	}
+	cmd := exec.Command(goTool(t), "vet", "./examples/...")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet ./examples/...: %v\n%s", err, out)
+	}
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs example binaries; skipped with -short")
+	}
+	root := repoRoot(t)
+	go_ := goTool(t)
+	// The examples that terminate on their own; each must exit 0 within
+	// the timeout (they log.Fatal on any broken invariant).
+	for _, name := range []string{"quickstart", "shardedcounter"} {
+		t.Run(name, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, go_, "run", "./examples/"+name)
+			cmd.Dir = root
+			out, err := cmd.CombinedOutput()
+			if ctx.Err() != nil {
+				t.Fatalf("example %s timed out\n%s", name, out)
+			}
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", name, err, out)
+			}
+		})
+	}
+}

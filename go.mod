@@ -1,0 +1,3 @@
+module mwllsc
+
+go 1.24

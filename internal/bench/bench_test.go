@@ -133,6 +133,8 @@ func TestAllExperimentsBuild(t *testing.T) {
 		"E5": E5Substrate,
 		"E6": E6Applications,
 		"E7": E7Allocation,
+		"E8": E8Sharding,
+		"E9": E9Registry,
 	}
 	for name, build := range builders {
 		name, build := name, build

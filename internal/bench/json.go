@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+)
+
+// Report is the machine-readable form of a benchmark run, written by
+// `llscbench -json` so successive runs can be archived (BENCH_*.json) and
+// diffed to track the performance trajectory across PRs.
+type Report struct {
+	// Tool identifies the producer ("llscbench").
+	Tool string `json:"tool"`
+	// GoVersion and GOMAXPROCS pin down enough of the environment to
+	// compare runs honestly.
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Experiments holds one entry per table, in run order.
+	Experiments []TableJSON `json:"experiments"`
+}
+
+// TableJSON is one experiment table in both layouts: the raw grid
+// (cols/rows, lossless) and flat records (one object per row with cells
+// keyed by column name, convenient for jq / dataframe loading).
+type TableJSON struct {
+	ID      string              `json:"id"`
+	Title   string              `json:"title"`
+	Note    string              `json:"note,omitempty"`
+	Cols    []string            `json:"cols"`
+	Rows    [][]string          `json:"rows"`
+	Records []map[string]string `json:"records"`
+}
+
+// JSON converts the table to its machine-readable form.
+func (t *Table) JSON() TableJSON {
+	tj := TableJSON{
+		ID:      t.ID,
+		Title:   t.Title,
+		Note:    t.Note,
+		Cols:    t.Cols,
+		Rows:    t.Rows,
+		Records: make([]map[string]string, 0, len(t.Rows)),
+	}
+	for _, row := range t.Rows {
+		rec := make(map[string]string, len(row)+1)
+		if t.ID != "" {
+			rec["experiment"] = t.ID
+		}
+		for i, cell := range row {
+			if i < len(t.Cols) {
+				rec[t.Cols[i]] = cell
+			}
+		}
+		tj.Records = append(tj.Records, rec)
+	}
+	return tj
+}
+
+// NewReport assembles a Report from finished tables, stamping the
+// environment.
+func NewReport(tables []*Table) *Report {
+	r := &Report{
+		Tool:       "llscbench",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, t := range tables {
+		r.Experiments = append(r.Experiments, t.JSON())
+	}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,7 +1,8 @@
 // Package bench is the shared benchmark harness behind cmd/llscbench,
 // cmd/llscspace and the root bench_test.go: workload generators, latency
-// and throughput measurement, space accounting, and plain-text table
-// rendering for the experiment index E1-E7 in DESIGN.md.
+// and throughput measurement, space accounting, and table rendering
+// (text, CSV, and JSON reports) for the experiments E1-E7 indexed in
+// DESIGN.md plus the sharding/registry experiments E8-E9.
 package bench
 
 import (
@@ -12,6 +13,9 @@ import (
 
 // Table is a plain-text result table.
 type Table struct {
+	// ID is the experiment's short name (e1, e2, ...), used by the JSON
+	// emitter; cmd/llscbench fills it for tables that do not set it.
+	ID string
 	// Title is printed above the table.
 	Title string
 	// Note is an optional caption printed under the title.

@@ -16,6 +16,7 @@ import (
 	"mwllsc/internal/core"
 	"mwllsc/internal/mem"
 	"mwllsc/internal/mwobj"
+	"mwllsc/internal/shard"
 )
 
 // JP is the paper's algorithm on the default (tagged) substrate.
@@ -64,4 +65,15 @@ func JPWithStats(stats *core.Stats) mwobj.Factory {
 	return func(n, w int, initial []uint64) (mwobj.MW, error) {
 		return core.New(mem.NewReal(n, mem.SubstrateTagged), n, w, initial, stats)
 	}
+}
+
+// NewSharded builds a k-shard map whose shards are the named
+// implementation, sharing one n-slot goroutine registry — the scaling
+// construction from internal/shard over any registered object.
+func NewSharded(name string, k, n, w int, opts ...shard.MapOption) (*shard.Map, error) {
+	f, err := ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return shard.NewMap(k, n, w, append([]shard.MapOption{shard.WithFactory(f)}, opts...)...)
 }

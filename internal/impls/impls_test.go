@@ -1,0 +1,108 @@
+package impls
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"mwllsc/internal/core"
+	"mwllsc/internal/mwtest"
+)
+
+func TestByNameKnown(t *testing.T) {
+	for _, name := range Names() {
+		f, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		obj, err := f(2, 3, mwtest.Pattern(10, 3))
+		if err != nil {
+			t.Fatalf("%s factory: %v", name, err)
+		}
+		if obj.N() != 2 || obj.W() != 3 {
+			t.Fatalf("%s built a %d-process %d-word object, want 2/3", name, obj.N(), obj.W())
+		}
+		v := make([]uint64, 3)
+		obj.LL(0, v)
+		for j, want := range mwtest.Pattern(10, 3) {
+			if v[j] != want {
+				t.Fatalf("%s initial value %v, want %v", name, v, mwtest.Pattern(10, 3))
+			}
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	_, err := ByName("no-such-impl")
+	if err == nil {
+		t.Fatal("ByName on an unknown name succeeded")
+	}
+	// The error must help the caller: name it and list the alternatives.
+	msg := err.Error()
+	if !strings.Contains(msg, "no-such-impl") {
+		t.Fatalf("error %q does not mention the requested name", msg)
+	}
+	for _, name := range Names() {
+		if !strings.Contains(msg, name) {
+			t.Fatalf("error %q does not list registered impl %q", msg, name)
+		}
+	}
+}
+
+func TestNamesCompleteSortedAndStable(t *testing.T) {
+	names := Names()
+	if len(names) != len(registry) {
+		t.Fatalf("Names() returned %d names, registry has %d", len(names), len(registry))
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names() not sorted: %v", names)
+	}
+	seen := map[string]bool{}
+	for _, name := range names {
+		if seen[name] {
+			t.Fatalf("Names() repeats %q", name)
+		}
+		seen[name] = true
+		if _, ok := registry[name]; !ok {
+			t.Fatalf("Names() lists %q which is not registered", name)
+		}
+	}
+	if !seen[JP] {
+		t.Fatalf("the paper's implementation %q is not in Names() %v", JP, names)
+	}
+}
+
+func TestJPWithStatsCounts(t *testing.T) {
+	var stats core.Stats
+	f := JPWithStats(&stats)
+	obj, err := f(2, 2, mwtest.Pattern(0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := make([]uint64, 2)
+	obj.LL(0, v)
+	obj.SC(0, v)
+	s := stats.Snapshot()
+	if s.LLTotal != 1 || s.SCTotal != 1 {
+		t.Fatalf("stats = %+v after one LL and one SC, want 1/1", s)
+	}
+}
+
+func TestNewSharded(t *testing.T) {
+	m, err := NewSharded("lockmw", 4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shards() != 4 || m.N() != 2 || m.W() != 2 {
+		t.Fatalf("geometry = %d/%d/%d, want 4/2/2", m.Shards(), m.N(), m.W())
+	}
+	m.Update(9, func(v []uint64) { v[0] = 42 })
+	v := make([]uint64, 2)
+	m.Read(9, v)
+	if v[0] != 42 {
+		t.Fatalf("read %v after update, want [42 0]", v)
+	}
+	if _, err := NewSharded("no-such-impl", 4, 2, 2); err == nil {
+		t.Fatal("NewSharded with an unknown impl succeeded")
+	}
+}

@@ -1,0 +1,41 @@
+package mwobj
+
+import "testing"
+
+func TestPaperWords(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		s    Space
+		want int64
+	}{
+		{"zero", Space{}, 0},
+		{"registers only", Space{RegisterWords: 7}, 7},
+		{"llsc only", Space{LLSCWords: 5}, 5},
+		{"both", Space{RegisterWords: 40, LLSCWords: 2}, 42},
+		{"phys bytes do not count", Space{RegisterWords: 3, LLSCWords: 4, PhysBytes: 1 << 20}, 7},
+	} {
+		if got := tc.s.PaperWords(); got != tc.want {
+			t.Errorf("%s: PaperWords() = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestPaperWordsAccountsJPShape checks the arithmetic on the paper's own
+// O(NW) shape: registers = N*(3W+2) + W-ish, one LL/SC word per process
+// plus X — the point is that PaperWords sums exactly the two paper-model
+// categories for a realistic footprint.
+func TestPaperWordsAccountsJPShape(t *testing.T) {
+	const n, w = 8, 16
+	s := Space{
+		RegisterWords: int64(n * (3*w + 2)),
+		LLSCWords:     int64(n + 1),
+		PhysBytes:     int64(n*(3*w+2))*8 + int64(n+1)*8,
+	}
+	want := int64(n*(3*w+2) + n + 1)
+	if got := s.PaperWords(); got != want {
+		t.Fatalf("PaperWords() = %d, want %d", got, want)
+	}
+	if s.PhysBytes != want*8 {
+		t.Fatalf("PhysBytes = %d, want %d (8 bytes per word)", s.PhysBytes, want*8)
+	}
+}

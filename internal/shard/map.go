@@ -1,0 +1,289 @@
+package shard
+
+import (
+	"fmt"
+
+	"mwllsc/internal/core"
+	"mwllsc/internal/mem"
+	"mwllsc/internal/mwobj"
+)
+
+// Map is a K-shard array of independent N-process W-word LL/SC/VL objects,
+// keyed by hash. Each shard carries the paper's full per-object guarantees
+// (wait-free O(W) LL/SC, linearizable per shard); spreading keys over K
+// shards multiplies aggregate SC throughput because writes to different
+// shards no longer contend on a single X word.
+//
+// Consistency contract: operations on one key (one shard) are atomic and
+// linearizable exactly as for a single object. Snapshot reads every shard
+// individually-atomically (per-shard LL + VL revalidation) but is NOT
+// cross-shard linearizable: the K values need not have coexisted at any
+// single instant. Workloads that need a cross-shard atomic view must keep
+// those words in one shard (or one plain object).
+//
+// A Map shares one Registry across all shards: an acquired process id is
+// valid on every shard, so a goroutine pins one id and then touches any
+// subset of shards.
+type Map struct {
+	shards []mwobj.MW
+	reg    *Registry
+	k      int
+	n      int
+	w      int
+}
+
+// MapOption configures NewMap.
+type MapOption func(*mapConfig)
+
+type mapConfig struct {
+	factory mwobj.Factory
+	policy  WaitPolicy
+	initial []uint64
+}
+
+// WithFactory builds each shard with f instead of the default (the paper's
+// algorithm on the tagged substrate).
+func WithFactory(f mwobj.Factory) MapOption {
+	return func(c *mapConfig) { c.factory = f }
+}
+
+// WithMapWaitPolicy selects the registry's exhaustion behavior.
+func WithMapWaitPolicy(p WaitPolicy) MapOption {
+	return func(c *mapConfig) { c.policy = p }
+}
+
+// WithInitial sets every shard's initial value (len must be w).
+func WithInitial(v []uint64) MapOption {
+	return func(c *mapConfig) { c.initial = v }
+}
+
+// WithSubstrate builds each shard with the paper's algorithm on the given
+// single-word substrate. Mutually exclusive with WithFactory (later option
+// wins).
+func WithSubstrate(s mem.Substrate) MapOption {
+	return func(c *mapConfig) {
+		c.factory = func(n, w int, initial []uint64) (mwobj.MW, error) {
+			return core.New(mem.NewReal(n, s), n, w, initial, nil)
+		}
+	}
+}
+
+// DefaultFactory builds the paper's algorithm on the tagged substrate —
+// the same construction as the top-level package's New.
+func DefaultFactory(n, w int, initial []uint64) (mwobj.MW, error) {
+	return core.New(mem.NewReal(n, mem.SubstrateTagged), n, w, initial, nil)
+}
+
+// NewMap creates a map of k shards, each an n-process w-word object
+// initialized to zeros (or WithInitial). n bounds the number of goroutines
+// that can operate concurrently; additional goroutines wait at the
+// registry.
+func NewMap(k, n, w int, opts ...MapOption) (*Map, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("shard: map needs k >= 1 shards, got %d", k)
+	}
+	cfg := mapConfig{factory: DefaultFactory, policy: Block}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.initial == nil {
+		cfg.initial = make([]uint64, w)
+	}
+	if len(cfg.initial) != w {
+		return nil, fmt.Errorf("shard: initial value has %d words, want %d", len(cfg.initial), w)
+	}
+	reg, err := NewRegistry(n, WithWaitPolicy(cfg.policy))
+	if err != nil {
+		return nil, err
+	}
+	m := &Map{shards: make([]mwobj.MW, k), reg: reg, k: k, n: n, w: w}
+	for i := range m.shards {
+		obj, err := cfg.factory(n, w, cfg.initial)
+		if err != nil {
+			return nil, fmt.Errorf("shard: building shard %d: %w", i, err)
+		}
+		if obj.N() != n || obj.W() != w {
+			return nil, fmt.Errorf("shard: factory built a %d-process %d-word object, want %d/%d",
+				obj.N(), obj.W(), n, w)
+		}
+		m.shards[i] = obj
+	}
+	return m, nil
+}
+
+// Shards returns K, the shard count.
+func (m *Map) Shards() int { return m.k }
+
+// N returns the number of process slots (concurrent operators) per shard.
+func (m *Map) N() int { return m.n }
+
+// W returns the per-shard value width in 64-bit words.
+func (m *Map) W() int { return m.w }
+
+// Registry returns the process-slot registry shared by all shards.
+func (m *Map) Registry() *Registry { return m.reg }
+
+// ShardIndex returns the shard that owns key.
+func (m *Map) ShardIndex(key uint64) int {
+	return int(mix64(key) % uint64(m.k))
+}
+
+// Acquire checks out a process id valid on every shard and returns a
+// handle bound to it. The handle must be used by one goroutine at a time
+// and returned with Release. Prefer one long-lived handle per worker
+// goroutine; the per-op convenience wrappers on Map pay an
+// acquire/release round trip each call.
+func (m *Map) Acquire() *MapHandle {
+	return &MapHandle{m: m, p: m.reg.Acquire()}
+}
+
+// TryAcquire is Acquire without waiting; ok is false if all n slots are
+// checked out.
+func (m *Map) TryAcquire() (h *MapHandle, ok bool) {
+	p, ok := m.reg.TryAcquire()
+	if !ok {
+		return nil, false
+	}
+	return &MapHandle{m: m, p: p}, true
+}
+
+// Update acquires a slot, atomically applies f to the shard owning key,
+// and releases the slot. It returns the number of LL/SC attempts.
+func (m *Map) Update(key uint64, f func(v []uint64)) int {
+	h := m.Acquire()
+	defer h.Release()
+	return h.Update(key, f)
+}
+
+// Read acquires a slot, copies the current value of the shard owning key
+// into dst (len(dst) must be W), and releases the slot.
+func (m *Map) Read(key uint64, dst []uint64) {
+	h := m.Acquire()
+	defer h.Release()
+	h.Read(key, dst)
+}
+
+// Snapshot acquires a slot, reads every shard individually-atomically into
+// dst (dst must have K rows of W words; see NewSnapshotBuffer), and
+// releases the slot. Per-shard atomic, not cross-shard linearizable — see
+// MapHandle.Snapshot for the exact guarantees.
+func (m *Map) Snapshot(dst [][]uint64) {
+	h := m.Acquire()
+	defer h.Release()
+	h.Snapshot(dst)
+}
+
+// NewSnapshotBuffer allocates a K×W destination for Snapshot.
+func (m *Map) NewSnapshotBuffer() [][]uint64 {
+	buf := make([][]uint64, m.k)
+	backing := make([]uint64, m.k*m.w)
+	for i := range buf {
+		buf[i] = backing[i*m.w : (i+1)*m.w : (i+1)*m.w]
+	}
+	return buf
+}
+
+// MapHandle binds a Map to one acquired process id. It is valid on every
+// shard and must be driven by at most one goroutine at a time.
+type MapHandle struct {
+	m        *Map
+	p        int
+	released bool
+	scratch  []uint64
+}
+
+// Process returns the underlying process id (the same id on every shard).
+func (h *MapHandle) Process() int { return h.p }
+
+// Release returns the process id to the registry. The handle must not be
+// used afterwards; releasing twice panics (a second release could
+// otherwise silently free an id that a different goroutine has since
+// re-acquired).
+func (h *MapHandle) Release() {
+	if h.released {
+		panic("shard: MapHandle released twice")
+	}
+	h.released = true
+	h.m.reg.Release(h.p)
+}
+
+// Update atomically applies f to the shard owning key via the LL -> f ->
+// SC loop, returning the number of attempts. f receives the shard's
+// current value in a scratch buffer reused across calls of this handle and
+// must mutate it in place; it may run several times, so it must be
+// side-effect free. Lock-free: a retry only happens when another process's
+// SC landed on the same shard.
+func (h *MapHandle) Update(key uint64, f func(v []uint64)) int {
+	if h.scratch == nil {
+		h.scratch = make([]uint64, h.m.w)
+	}
+	obj := h.m.shards[h.m.ShardIndex(key)]
+	for attempt := 1; ; attempt++ {
+		obj.LL(h.p, h.scratch)
+		f(h.scratch)
+		if obj.SC(h.p, h.scratch) {
+			return attempt
+		}
+	}
+}
+
+// Read copies the current value of the shard owning key into dst (len(dst)
+// must be W) — a wait-free atomic multiword read (one LL).
+func (h *MapHandle) Read(key uint64, dst []uint64) {
+	h.m.shards[h.m.ShardIndex(key)].LL(h.p, dst)
+}
+
+// ReadShard copies shard i's current value into dst.
+func (h *MapHandle) ReadShard(i int, dst []uint64) {
+	h.m.shards[i].LL(h.p, dst)
+}
+
+// Snapshot reads every shard into dst (K rows of W words). Each LL is by
+// itself an atomic (and wait-free) multiword read, so every row is
+// internally consistent after the first pass; the second pass revalidates
+// each link with VL and re-reads shards whose link was broken by an
+// intervening SC, so each returned row is additionally *current* as of
+// its validation point near the end of the snapshot, rather than as of
+// the first pass. That freshness loop makes Snapshot lock-free (a hot
+// shard under sustained SC traffic can force re-reads) instead of
+// wait-free. The result is per-shard atomic only: the K rows need not
+// have coexisted at one instant.
+func (h *MapHandle) Snapshot(dst [][]uint64) {
+	if len(dst) != h.m.k {
+		panic(fmt.Sprintf("shard: snapshot buffer has %d rows, want %d", len(dst), h.m.k))
+	}
+	for i, obj := range h.m.shards {
+		obj.LL(h.p, dst[i])
+	}
+	for i, obj := range h.m.shards {
+		for !obj.VL(h.p) {
+			obj.LL(h.p, dst[i])
+		}
+	}
+}
+
+// mix64 is the SplitMix64 finalizer: a full-avalanche bijection on uint64,
+// so dense key ranges (0,1,2,...) still spread uniformly over shards.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// HashBytes maps an arbitrary byte-string key onto the uint64 key space
+// (FNV-1a), for callers whose keys are not already integers.
+func HashBytes(key []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,107 @@
+package mwllsc_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mwllsc"
+)
+
+func TestNewShardedOptions(t *testing.T) {
+	m, err := mwllsc.NewSharded(4, 2, 3,
+		mwllsc.WithShardedInitial([]uint64{1, 2, 3}),
+		mwllsc.WithShardedWaitPolicy(mwllsc.Spin),
+		mwllsc.WithShardedSubstrate(mwllsc.SubstratePtr),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shards() != 4 || m.N() != 2 || m.W() != 3 {
+		t.Fatalf("geometry = %d/%d/%d, want 4/2/3", m.Shards(), m.N(), m.W())
+	}
+	if m.Registry().Policy() != mwllsc.Spin {
+		t.Fatalf("policy = %v, want Spin", m.Registry().Policy())
+	}
+	v := make([]uint64, 3)
+	m.Read(99, v)
+	if v[0] != 1 || v[1] != 2 || v[2] != 3 {
+		t.Fatalf("initial value %v, want [1 2 3]", v)
+	}
+	if _, err := mwllsc.NewSharded(0, 2, 3); err == nil {
+		t.Fatal("NewSharded(0, ...) succeeded")
+	}
+}
+
+func TestRegistryWithObjectHandles(t *testing.T) {
+	const n = 3
+	obj, err := mwllsc.New(n, 1, []uint64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := mwllsc.NewRegistry(n, mwllsc.WithWaitPolicy(mwllsc.Block))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		goroutines = 12
+		perG       = 300
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				p := reg.Acquire()
+				obj.Handle(p).Update(func(v []uint64) { v[0]++ })
+				reg.Release(p)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := obj.Handle(0).LLNew()[0]; got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if reg.InUse() != 0 {
+		t.Fatalf("registry leaked %d slots", reg.InUse())
+	}
+}
+
+func TestHashBytesTopLevel(t *testing.T) {
+	if mwllsc.HashBytes([]byte("a")) == mwllsc.HashBytes([]byte("b")) {
+		t.Fatal("distinct keys collide")
+	}
+}
+
+// ExampleNewSharded serves a bank of counters from more goroutines than
+// the object has process slots: the registry hands out ids, the hash
+// spreads keys over shards.
+func ExampleNewSharded() {
+	m, err := mwllsc.NewSharded(4 /*shards*/, 2 /*slots*/, 1 /*word*/)
+	if err != nil {
+		panic(err)
+	}
+	var wg sync.WaitGroup
+	for worker := 0; worker < 8; worker++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := m.Acquire() // waits if both slots are busy
+			defer h.Release()
+			for key := uint64(0); key < 100; key++ {
+				h.Update(key, func(v []uint64) { v[0]++ })
+			}
+		}()
+	}
+	wg.Wait()
+
+	snap := m.NewSnapshotBuffer()
+	m.Snapshot(snap) // each shard's value read atomically
+	var total uint64
+	for _, row := range snap {
+		total += row[0]
+	}
+	fmt.Println("total increments:", total)
+	// Output: total increments: 800
+}
