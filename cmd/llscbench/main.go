@@ -1,6 +1,7 @@
-// Command llscbench regenerates the experiment tables E1-E9: the empirical
-// counterparts of the paper's Theorem 1 claims (E1-E7, DESIGN.md), plus
-// the scaling experiments for the sharded map and handle registry (E8-E9).
+// Command llscbench regenerates the experiment tables E1-E10: the
+// empirical counterparts of the paper's Theorem 1 claims (E1-E7,
+// DESIGN.md), the scaling experiments for the sharded map and handle
+// registry (E8-E9), and the cross-shard transaction experiment (E10).
 //
 // Usage:
 //
@@ -31,7 +32,7 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("llscbench", flag.ContinueOnError)
 	var (
-		exps     = fs.String("e", "", "comma-separated experiments to run (e1..e9); empty = all")
+		exps     = fs.String("e", "", "comma-separated experiments to run (e1..e10); empty = all")
 		implList = fs.String("impls", "", "comma-separated implementations (default: all of "+strings.Join(impls.Names(), ",")+")")
 		dur      = fs.Duration("dur", 150*time.Millisecond, "measurement window per throughput point")
 		iters    = fs.Int("iters", 30000, "iterations per latency point")
@@ -60,6 +61,7 @@ func run(args []string) int {
 		{"e7", bench.E7Allocation},
 		{"e8", bench.E8Sharding},
 		{"e9", bench.E9Registry},
+		{"e10", bench.E10Transactions},
 	}
 
 	want := map[string]bool{}

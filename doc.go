@@ -58,10 +58,38 @@
 // revalidation: each shard's value is individually atomic (each LL already
 // is; the VL pass re-reads shards that changed mid-snapshot, trading
 // wait-freedom for freshness), but the K values are not cross-shard
-// linearizable — words that must move together atomically belong in the
-// same shard. The E8/E9 experiments
-// (cmd/llscbench) quantify the throughput gain vs K and the registry's
-// overhead.
+// linearizable. Words that must always move together still belong in one
+// shard (that keeps them on the per-key fast path); when values in
+// different shards must change or be observed together, use the
+// cross-shard transactions below instead of giving up the sharding. The
+// E8/E9 experiments (cmd/llscbench) quantify the throughput gain vs K and
+// the registry's overhead.
+//
+// # Cross-shard atomic transactions
+//
+// Sharded carries a lock-free transaction layer (internal/txn) that
+// restores multi-word composability across shards:
+//
+//	h.UpdateMulti(keys, f)   // one f applied atomically to all keys' shards
+//	m.SnapshotAtomic(dst)    // all K shard values from one instant
+//
+// UpdateMulti runs as a descriptor-based two-phase commit built from the
+// same LL/SC/VL primitives: collect the target values, publish a
+// descriptor, lock the target shards in ascending index order (a CAS on
+// a per-shard lock word plus a value-sealing SC), commit, release. Any
+// process that
+// encounters a mid-commit transaction helps it finish, so a stalled (or
+// crashed) writer never blocks others — the layer is lock-free, though
+// not wait-free like per-key operations. SnapshotAtomic first tries
+// optimistic double collects (LL all shards, then VL all shards; if
+// nothing moved in between, the values form a consistent cut) and falls
+// back to the descriptor path under sustained writes. Cost model: a
+// per-key Update pays one LL/SC round on one shard; UpdateMulti pays two
+// rounds (lock + release) on each distinct target shard plus the
+// descriptor publish; Snapshot pays ~2K shard reads; SnapshotAtomic pays
+// the same per attempt, times the retries a write-heavy load induces. The
+// E10 experiment (cmd/llscbench) quantifies transaction throughput vs
+// key-span and conflict rate.
 //
 // # Substrates
 //

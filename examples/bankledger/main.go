@@ -1,8 +1,17 @@
-// Bankledger: a W-word LL/SC variable as an atomically updated ledger of
-// account balances. Concurrent tellers transfer random amounts between
-// random accounts; because each transfer is an LL -> modify -> SC round,
-// no money is ever created or destroyed, and any teller can audit the
-// whole ledger atomically with a single wait-free LL.
+// Bankledger: atomic money transfers two ways.
+//
+// Part 1 keeps the whole ledger in ONE W-word LL/SC variable: every
+// transfer is an LL -> modify -> SC round, and any teller audits the
+// whole ledger atomically with a single wait-free LL. Simple and exact —
+// but every transfer serializes through one variable.
+//
+// Part 2 shards the ledger: one account per shard of a Sharded map, so
+// transfers on disjoint account pairs run in parallel. A transfer now
+// crosses shards, which is exactly what the map's transaction layer is
+// for: UpdateMulti debits and credits atomically across shards, and
+// auditors use SnapshotAtomic — a cross-shard linearizable cut — so the
+// total balances exactly in every single audit (the cheaper per-shard
+// Snapshot could legally see a debit without its credit).
 //
 //	go run ./examples/bankledger
 package main
@@ -26,6 +35,12 @@ const (
 )
 
 func main() {
+	singleLedger()
+	shardedLedger()
+}
+
+// singleLedger is the one-object variant: the ledger is a W-word value.
+func singleLedger() {
 	initial := make([]uint64, accounts)
 	for i := range initial {
 		initial[i] = initialBalance
@@ -101,11 +116,119 @@ func main() {
 	for _, bal := range final {
 		total += bal
 	}
+	fmt.Println("— one object —")
 	fmt.Printf("transfers: %d tellers x %d each\n", tellers, transfersEach)
 	fmt.Printf("final balances: %v\n", final)
 	fmt.Printf("total: %d (expected %d) — conservation %v\n",
 		total, accounts*initialBalance, total == accounts*initialBalance)
-	fmt.Printf("concurrent audits, all consistent: %d\n", audits[0]+audits[1])
+	var auditTotal int64
+	for _, a := range audits {
+		auditTotal += a
+	}
+	fmt.Printf("concurrent audits, all consistent: %d\n", auditTotal)
+	if total != accounts*initialBalance {
+		log.Fatal("conservation violated")
+	}
+}
+
+// shardedLedger is the scaled variant: one account per shard, transfers
+// as cross-shard transactions, audits as cross-shard linearizable
+// snapshots.
+func shardedLedger() {
+	m, err := mwllsc.NewSharded(accounts /*one shard per account*/, tellers+auditors, 1,
+		mwllsc.WithShardedInitial([]uint64{initialBalance}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Account i lives in shard i, addressed by the shard's representative key.
+	keys := make([]uint64, accounts)
+	for i := range keys {
+		keys[i] = m.KeyForShard(i)
+	}
+
+	var (
+		tellerWG  sync.WaitGroup
+		auditorWG sync.WaitGroup
+		stop      atomic.Bool
+		audits    = make([]int64, auditors)
+		attempts  = make([]int64, tellers)
+	)
+
+	for t := 0; t < tellers; t++ {
+		tellerWG.Add(1)
+		go func(t int) {
+			defer tellerWG.Done()
+			h := m.Acquire()
+			defer h.Release()
+			rng := rand.New(rand.NewSource(int64(t) + 101))
+			for done := 0; done < transfersEach; done++ {
+				from, to := rng.Intn(accounts), rng.Intn(accounts)
+				if from == to {
+					to = (to + 1) % accounts
+				}
+				amount := uint64(rng.Intn(50) + 1)
+				// One atomic transaction across the two shards: the debit
+				// and credit commit together or not at all.
+				attempts[t] += int64(h.UpdateMulti([]uint64{keys[from], keys[to]},
+					func(vals [][]uint64) {
+						if vals[0][0] >= amount {
+							vals[0][0] -= amount
+							vals[1][0] += amount
+						}
+					}))
+			}
+		}(t)
+	}
+
+	for a := 0; a < auditors; a++ {
+		auditorWG.Add(1)
+		go func(a int) {
+			defer auditorWG.Done()
+			h := m.Acquire()
+			defer h.Release()
+			buf := m.NewSnapshotBuffer()
+			for !stop.Load() {
+				h.SnapshotAtomic(buf) // all shards from ONE instant
+				var total uint64
+				for _, row := range buf {
+					total += row[0]
+				}
+				if total != accounts*initialBalance {
+					log.Fatalf("sharded auditor %d: torn cut, total=%d want %d",
+						a, total, accounts*initialBalance)
+				}
+				audits[a]++
+			}
+		}(a)
+	}
+
+	tellerWG.Wait()
+	stop.Store(true)
+	auditorWG.Wait()
+
+	buf := m.NewSnapshotBuffer()
+	m.SnapshotAtomic(buf)
+	var total uint64
+	final := make([]uint64, accounts)
+	for i, row := range buf {
+		final[i] = row[0]
+		total += row[0]
+	}
+	var tried int64
+	for _, a := range attempts {
+		tried += a
+	}
+	fmt.Println("— sharded, cross-shard transactions —")
+	fmt.Printf("transfers: %d tellers x %d each over %d shards\n", tellers, transfersEach, m.Shards())
+	fmt.Printf("final balances: %v\n", final)
+	fmt.Printf("total: %d (expected %d) — conservation %v\n",
+		total, accounts*initialBalance, total == accounts*initialBalance)
+	var auditTotal int64
+	for _, a := range audits {
+		auditTotal += a
+	}
+	fmt.Printf("atomic audits, all consistent: %d; txn attempts/transfer: %.2f\n",
+		auditTotal, float64(tried)/float64(tellers*transfersEach))
 	if total != accounts*initialBalance {
 		log.Fatal("conservation violated")
 	}

@@ -51,7 +51,9 @@ func main() {
 			h := m.Acquire()
 			defer h.Release()
 			for i := 0; i < perWorker; i++ {
-				key := mwllsc.HashBytes(fmt.Appendf(nil, "user:%d", (wkr*perWorker+i)%keyspace))
+				// Integer ids hash straight through HashUint64 — no byte
+				// round-trip (that is what HashBytes is for).
+				key := mwllsc.HashUint64(uint64((wkr*perWorker + i) % keyspace))
 				h.Update(key, func(v []uint64) {
 					v[0]++        // count
 					v[1] += delta // sum, atomically with count

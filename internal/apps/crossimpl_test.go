@@ -5,6 +5,8 @@
 package apps_test
 
 import (
+	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -13,6 +15,7 @@ import (
 	"mwllsc/internal/apps/snapshot"
 	"mwllsc/internal/impls"
 	"mwllsc/internal/mwobj"
+	"mwllsc/internal/shard"
 )
 
 func forEachImpl(t *testing.T, f func(t *testing.T, factory mwobj.Factory)) {
@@ -111,6 +114,95 @@ func TestSnapshotMonotoneAcrossImpls(t *testing.T) {
 		}
 		close(stop)
 		wg.Wait()
+	})
+}
+
+// TestTxnConservationAcrossImpls runs the cross-shard transaction layer
+// over every registered implementation: concurrent multi-key transfers
+// between shards plus atomic audits must conserve the total no matter
+// which LL/SC construction sits under the shards (the txn engine only
+// assumes the mwobj.MW contract).
+func TestTxnConservationAcrossImpls(t *testing.T) {
+	forEachImpl(t, func(t *testing.T, factory mwobj.Factory) {
+		const (
+			k              = 4
+			slots          = 4
+			tellers        = 3
+			perTeller      = 200
+			initialBalance = 500
+		)
+		m, err := shard.NewMap(k, slots, 1,
+			shard.WithFactory(factory), shard.WithInitial([]uint64{initialBalance}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One representative key per shard so transfers truly cross shards.
+		keys := make([]uint64, k)
+		for i := range keys {
+			keys[i] = m.KeyForShard(i)
+		}
+		var wg sync.WaitGroup
+		for tl := 0; tl < tellers; tl++ {
+			wg.Add(1)
+			go func(tl int) {
+				defer wg.Done()
+				h := m.Acquire()
+				defer h.Release()
+				rng := rand.New(rand.NewSource(int64(tl) + 1))
+				for i := 0; i < perTeller; i++ {
+					from, to := rng.Intn(k), rng.Intn(k)
+					if from == to {
+						continue
+					}
+					amount := uint64(rng.Intn(20) + 1)
+					h.UpdateMulti([]uint64{keys[from], keys[to]}, func(vals [][]uint64) {
+						if vals[0][0] >= amount {
+							vals[0][0] -= amount
+							vals[1][0] += amount
+						}
+					})
+				}
+			}(tl)
+		}
+		auditorStop := make(chan struct{})
+		auditorDone := make(chan error, 1)
+		go func() {
+			h := m.Acquire()
+			defer h.Release()
+			buf := m.NewSnapshotBuffer()
+			for {
+				select {
+				case <-auditorStop:
+					auditorDone <- nil
+					return
+				default:
+				}
+				h.SnapshotAtomic(buf)
+				var total uint64
+				for _, row := range buf {
+					total += row[0]
+				}
+				if total != k*initialBalance {
+					auditorDone <- fmt.Errorf("atomic audit saw total %d, want %d — torn cross-shard cut",
+						total, k*initialBalance)
+					return
+				}
+			}
+		}()
+		wg.Wait()
+		close(auditorStop)
+		if err := <-auditorDone; err != nil {
+			t.Fatal(err)
+		}
+		buf := m.NewSnapshotBuffer()
+		m.SnapshotAtomic(buf)
+		var total uint64
+		for _, row := range buf {
+			total += row[0]
+		}
+		if total != k*initialBalance {
+			t.Fatalf("final total %d, want %d", total, k*initialBalance)
+		}
 	})
 }
 

@@ -43,7 +43,6 @@ func ShardedUpdateThroughput(name string, k, n, w, g int, yield bool, dur time.D
 			defer wg.Done()
 			h := m.Acquire()
 			defer h.Release()
-			rng := uint64(i)*0x9e3779b97f4a7c15 + 1
 			f := func(v []uint64) { v[0]++ }
 			if yield {
 				f = func(v []uint64) {
@@ -54,12 +53,11 @@ func ShardedUpdateThroughput(name string, k, n, w, g int, yield bool, dur time.D
 			// Count locally; adjacent counts[i] slots share cache lines
 			// and per-op stores there would perturb the measurement.
 			var done int64
+			ctr := uint64(i) << 32 // disjoint per-goroutine counter ranges
 			for !stop.Load() {
 				for j := 0; j < 64; j++ {
-					rng ^= rng << 13
-					rng ^= rng >> 7
-					rng ^= rng << 17
-					h.Update(rng, f)
+					ctr++
+					h.Update(shard.HashUint64(ctr), f)
 					done++
 				}
 			}

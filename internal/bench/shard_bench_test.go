@@ -44,6 +44,38 @@ func TestRegistryUpdateThroughputModes(t *testing.T) {
 	}
 }
 
+func TestTxnUpdateThroughputRuns(t *testing.T) {
+	ops, att, err := TxnUpdateThroughput("jp", 4, 4, 2, 4, 2, 64, true, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops <= 0 || att < 1 {
+		t.Fatalf("txn throughput %f, attempts %f", ops, att)
+	}
+	if _, _, err := TxnUpdateThroughput("jp", 2, 2, 2, 4, 2, 64, false, time.Millisecond); err == nil {
+		t.Fatal("accepted g > n")
+	}
+	if _, _, err := TxnUpdateThroughput("jp", 2, 2, 2, 2, 3, 2, false, time.Millisecond); err == nil {
+		t.Fatal("accepted keyspace < span")
+	}
+	if _, _, err := TxnUpdateThroughput("nonexistent", 2, 2, 2, 2, 1, 8, false, time.Millisecond); err == nil {
+		t.Fatal("accepted unknown implementation")
+	}
+}
+
+func TestTxnSnapshotThroughputRuns(t *testing.T) {
+	snaps, fb, err := TxnSnapshotThroughput("jp", 4, 4, 2, 3, 2, 64, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snaps <= 0 || fb < 0 || fb > 1 {
+		t.Fatalf("snapshot throughput %f, fallback fraction %f", snaps, fb)
+	}
+	if _, _, err := TxnSnapshotThroughput("jp", 2, 2, 2, 1, 1, 8, time.Millisecond); err == nil {
+		t.Fatal("accepted a single goroutine (no writers)")
+	}
+}
+
 func TestShardExperimentsBuild(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiments are slow-ish; skipped with -short")
@@ -51,8 +83,9 @@ func TestShardExperimentsBuild(t *testing.T) {
 	o := fast()
 	o.Impls = []string{"jp"}
 	for name, build := range map[string]func(Options) (*Table, error){
-		"E8": E8Sharding,
-		"E9": E9Registry,
+		"E8":  E8Sharding,
+		"E9":  E9Registry,
+		"E10": E10Transactions,
 	} {
 		tb, err := build(o)
 		if err != nil {

@@ -1,0 +1,207 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TxnKind is the operation type in a multi-key transaction history.
+type TxnKind uint8
+
+// Transaction operation kinds.
+const (
+	// TxnUpdate is a committed multi-key atomic update: it read Old[j] from
+	// Shards[j] and replaced it with New[j], for all j at one instant.
+	TxnUpdate TxnKind = iota + 1
+	// TxnSnap is an atomic snapshot: it read Old[j] from Shards[j], for all
+	// j at one instant, writing nothing.
+	TxnSnap
+)
+
+// String returns the kind's name.
+func (k TxnKind) String() string {
+	switch k {
+	case TxnUpdate:
+		return "Update"
+	case TxnSnap:
+		return "Snap"
+	default:
+		return "?"
+	}
+}
+
+// TxnOp is one completed multi-key operation in a concurrent history.
+// Values are opaque strings per touched shard (callers encode multiword
+// values however they like, e.g. with WordsValue); equality is all the
+// checker needs.
+type TxnOp struct {
+	// Proc is the process id that performed the operation.
+	Proc int
+	// Kind is TxnUpdate or TxnSnap.
+	Kind TxnKind
+	// Shards lists the touched shard indices, strictly ascending.
+	Shards []int
+	// Old holds, per Shards entry, the value the operation observed.
+	Old []string
+	// New holds, per Shards entry, the value a TxnUpdate installed
+	// (nil for TxnSnap).
+	New []string
+	// Inv and Res are invocation and response timestamps from any
+	// monotonic clock shared by all processes; Res must be > Inv, and
+	// non-overlap (a.Res < b.Inv) must reflect real-time order.
+	Inv, Res int64
+}
+
+func (o TxnOp) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "p%d.%v(", o.Proc, o.Kind)
+	for j, sh := range o.Shards {
+		if j > 0 {
+			b.WriteString(" ")
+		}
+		if o.Kind == TxnUpdate {
+			fmt.Fprintf(&b, "s%d:%s->%s", sh, o.Old[j], o.New[j])
+		} else {
+			fmt.Fprintf(&b, "s%d:%s", sh, o.Old[j])
+		}
+	}
+	fmt.Fprintf(&b, ")@[%d,%d]", o.Inv, o.Res)
+	return b.String()
+}
+
+// CheckTxns reports whether h — a history of committed multi-key updates
+// and atomic snapshots over k shards starting from the given per-shard
+// initial values — is linearizable with respect to the sequential
+// multi-shard specification: each TxnUpdate atomically replaces Old with
+// New on all its shards (legal only when every shard currently holds its
+// Old), each TxnSnap atomically observes Old on all its shards. It is the
+// multi-key counterpart of CheckLLSC, in the same Wing & Gong style with
+// memoization.
+//
+// len(h) must be at most MaxOps; operations of the same process must not
+// overlap.
+func CheckTxns(h []TxnOp, k int, initial []string) error {
+	if len(initial) != k {
+		return fmt.Errorf("check: %d initial values for %d shards", len(initial), k)
+	}
+	if len(h) == 0 {
+		return nil
+	}
+	if len(h) > MaxOps {
+		return fmt.Errorf("check: history has %d ops, max %d", len(h), MaxOps)
+	}
+
+	ops := make([]TxnOp, len(h))
+	copy(ops, h)
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Inv < ops[j].Inv })
+
+	perProc := map[int][]int{}
+	for i, op := range ops {
+		if op.Res <= op.Inv {
+			return fmt.Errorf("check: op %v has Res <= Inv", op)
+		}
+		if len(op.Old) != len(op.Shards) || (op.Kind == TxnUpdate && len(op.New) != len(op.Shards)) {
+			return fmt.Errorf("check: op %v has mismatched shard/value lengths", op)
+		}
+		for j, sh := range op.Shards {
+			if sh < 0 || sh >= k {
+				return fmt.Errorf("check: op %v touches shard %d outside [0,%d)", op, sh, k)
+			}
+			if j > 0 && op.Shards[j-1] >= sh {
+				return fmt.Errorf("check: op %v shard list not strictly ascending", op)
+			}
+		}
+		perProc[op.Proc] = append(perProc[op.Proc], i)
+	}
+	for p, idxs := range perProc {
+		for j := 1; j < len(idxs); j++ {
+			if ops[idxs[j]].Inv < ops[idxs[j-1]].Res {
+				return fmt.Errorf("check: process %d has overlapping ops %v and %v",
+					p, ops[idxs[j-1]], ops[idxs[j]])
+			}
+		}
+	}
+
+	c := &txnChecker{ops: ops, perProc: perProc, visited: map[uint64]bool{}}
+	vals := make([]string, k)
+	copy(vals, initial)
+	if c.search(0, vals, make(map[int]int, len(perProc))) {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "check: multi-key history is NOT linearizable (initial=%v):\n", initial)
+	for _, op := range ops {
+		fmt.Fprintf(&b, "  %v\n", op)
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+type txnChecker struct {
+	ops     []TxnOp
+	perProc map[int][]int
+	// visited memoizes dead linearized-sets by mask alone: per shard, the
+	// updates in any legal linearization of a set form a forced old->new
+	// chain, so the set determines the state — no state in the key needed.
+	visited map[uint64]bool
+}
+
+func (c *txnChecker) search(mask uint64, vals []string, next map[int]int) bool {
+	if mask == 1<<len(c.ops)-1 {
+		return true
+	}
+	if c.visited[mask] {
+		return false
+	}
+
+	// minRes is the earliest response among un-linearized ops: an op may
+	// linearize now only if it was invoked before that response.
+	minRes := int64(1<<63 - 1)
+	for i, op := range c.ops {
+		if mask&(1<<i) == 0 && op.Res < minRes {
+			minRes = op.Res
+		}
+	}
+
+	for p, idxs := range c.perProc {
+		if next[p] >= len(idxs) {
+			continue
+		}
+		i := idxs[next[p]]
+		op := c.ops[i]
+		if op.Inv > minRes {
+			continue
+		}
+		vals2, legal := applyTxnSpec(vals, op)
+		if !legal {
+			continue
+		}
+		next[p]++
+		ok := c.search(mask|1<<i, vals2, next)
+		next[p]--
+		if ok {
+			return true
+		}
+	}
+	c.visited[mask] = true
+	return false
+}
+
+// applyTxnSpec runs one operation against the sequential multi-shard
+// specification, reporting the successor state and whether the recorded
+// observation is legal.
+func applyTxnSpec(vals []string, op TxnOp) ([]string, bool) {
+	for j, sh := range op.Shards {
+		if vals[sh] != op.Old[j] {
+			return nil, false
+		}
+	}
+	if op.Kind != TxnUpdate {
+		return vals, true
+	}
+	out := append([]string(nil), vals...)
+	for j, sh := range op.Shards {
+		out[sh] = op.New[j]
+	}
+	return out, true
+}

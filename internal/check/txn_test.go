@@ -1,0 +1,107 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+func upd(proc int, inv, res int64, shards []int, old, new []string) TxnOp {
+	return TxnOp{Proc: proc, Kind: TxnUpdate, Shards: shards, Old: old, New: new, Inv: inv, Res: res}
+}
+
+func snap(proc int, inv, res int64, shards []int, old []string) TxnOp {
+	return TxnOp{Proc: proc, Kind: TxnSnap, Shards: shards, Old: old, Inv: inv, Res: res}
+}
+
+func TestCheckTxnsSequential(t *testing.T) {
+	h := []TxnOp{
+		upd(0, 1, 2, []int{0, 1}, []string{"a", "b"}, []string{"a1", "b1"}),
+		snap(1, 3, 4, []int{0, 1, 2}, []string{"a1", "b1", "c"}),
+		upd(0, 5, 6, []int{1, 2}, []string{"b1", "c"}, []string{"b2", "c2"}),
+	}
+	if err := CheckTxns(h, 3, []string{"a", "b", "c"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckTxnsOverlappingReorder(t *testing.T) {
+	// Two overlapping updates on shard 0: the only legal order is p1 then
+	// p0 (p0 read p1's output), even though p0 invoked first.
+	h := []TxnOp{
+		upd(0, 1, 10, []int{0}, []string{"x1"}, []string{"x2"}),
+		upd(1, 2, 9, []int{0}, []string{"x0"}, []string{"x1"}),
+	}
+	if err := CheckTxns(h, 1, []string{"x0"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckTxnsRejectsTornSnapshot(t *testing.T) {
+	// A transfer moved a unit from shard 0 to shard 1; the snapshot claims
+	// to have seen the debit but not the credit. No linearization exists.
+	h := []TxnOp{
+		upd(0, 1, 4, []int{0, 1}, []string{"5", "5"}, []string{"4", "6"}),
+		snap(1, 2, 5, []int{0, 1}, []string{"4", "5"}),
+	}
+	err := CheckTxns(h, 2, []string{"5", "5"})
+	if err == nil {
+		t.Fatal("torn cross-shard snapshot accepted as linearizable")
+	}
+	if !strings.Contains(err.Error(), "NOT linearizable") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestCheckTxnsRejectsRealTimeViolation(t *testing.T) {
+	// p0's update completed before p1's began, yet p1 claims to have read
+	// the pre-update value.
+	h := []TxnOp{
+		upd(0, 1, 2, []int{0}, []string{"v0"}, []string{"v1"}),
+		snap(1, 3, 4, []int{0}, []string{"v0"}),
+	}
+	if CheckTxns(h, 1, []string{"v0"}) == nil {
+		t.Fatal("stale read after a completed update accepted")
+	}
+}
+
+func TestCheckTxnsRejectsLostUpdate(t *testing.T) {
+	// Both updates claim to have read the initial value of shard 0 — one
+	// of the writes is lost.
+	h := []TxnOp{
+		upd(0, 1, 10, []int{0}, []string{"i"}, []string{"a"}),
+		upd(1, 2, 11, []int{0}, []string{"i"}, []string{"b"}),
+	}
+	if CheckTxns(h, 1, []string{"i"}) == nil {
+		t.Fatal("lost update accepted as linearizable")
+	}
+}
+
+func TestCheckTxnsValidatesInput(t *testing.T) {
+	if CheckTxns([]TxnOp{upd(0, 2, 1, []int{0}, []string{"a"}, []string{"b"})}, 1, []string{"a"}) == nil {
+		t.Fatal("Res <= Inv accepted")
+	}
+	if CheckTxns([]TxnOp{upd(0, 1, 2, []int{1, 0}, []string{"a", "a"}, []string{"b", "b"})}, 2, []string{"a", "a"}) == nil {
+		t.Fatal("descending shard list accepted")
+	}
+	if CheckTxns([]TxnOp{upd(0, 1, 2, []int{3}, []string{"a"}, []string{"b"})}, 2, []string{"a", "a"}) == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	if CheckTxns(nil, 2, []string{"a"}) == nil {
+		t.Fatal("initial/k mismatch accepted")
+	}
+	if err := CheckTxns(nil, 1, []string{"a"}); err != nil {
+		t.Fatalf("empty history rejected: %v", err)
+	}
+}
+
+func TestCheckTxnsDisjointShardsCommute(t *testing.T) {
+	// Fully overlapping in time, touching disjoint shards: any order works.
+	h := []TxnOp{
+		upd(0, 1, 10, []int{0}, []string{"a"}, []string{"a1"}),
+		upd(1, 2, 9, []int{1}, []string{"b"}, []string{"b1"}),
+		snap(2, 3, 8, []int{0, 1}, []string{"a1", "b"}),
+	}
+	if err := CheckTxns(h, 2, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"mwllsc/internal/core"
 	"mwllsc/internal/mem"
 	"mwllsc/internal/mwobj"
+	"mwllsc/internal/txn"
 )
 
 // Map is a K-shard array of independent N-process W-word LL/SC/VL objects,
@@ -15,21 +16,32 @@ import (
 // shards no longer contend on a single X word.
 //
 // Consistency contract: operations on one key (one shard) are atomic and
-// linearizable exactly as for a single object. Snapshot reads every shard
-// individually-atomically (per-shard LL + VL revalidation) but is NOT
-// cross-shard linearizable: the K values need not have coexisted at any
-// single instant. Workloads that need a cross-shard atomic view must keep
-// those words in one shard (or one plain object).
+// linearizable exactly as for a single object. For atomicity ACROSS
+// shards, the map carries a lock-free transaction layer (internal/txn):
+// UpdateMulti applies one function atomically to the values of several
+// keys in different shards, and SnapshotAtomic returns a cross-shard
+// linearizable view of all K shards. Both are lock-free rather than
+// wait-free and cost more than their per-key counterparts — UpdateMulti
+// pays two LL/SC rounds per touched shard (lock + release) plus a
+// descriptor publish, SnapshotAtomic two passes over all K shards plus
+// retries under sustained write traffic — so per-key Update/Read and the
+// weaker per-shard-atomic Snapshot remain the fast path.
 //
 // A Map shares one Registry across all shards: an acquired process id is
 // valid on every shard, so a goroutine pins one id and then touches any
 // subset of shards.
+//
+// The shards hold user values only, at their native width; the
+// transaction engine keeps one padded lock word per shard in its own
+// memory, so the per-key fast path pays exactly one extra atomic load.
 type Map struct {
-	shards []mwobj.MW
-	reg    *Registry
-	k      int
-	n      int
-	w      int
+	shards  []mwobj.MW
+	reg     *Registry
+	eng     *txn.Engine
+	repKeys []uint64 // repKeys[i] is owned by shard i; see KeyForShard
+	k       int
+	n       int
+	w       int
 }
 
 // MapOption configures NewMap.
@@ -82,6 +94,9 @@ func NewMap(k, n, w int, opts ...MapOption) (*Map, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("shard: map needs k >= 1 shards, got %d", k)
 	}
+	if w < 1 {
+		return nil, fmt.Errorf("shard: map needs w >= 1 words, got %d", w)
+	}
 	cfg := mapConfig{factory: DefaultFactory, policy: Block}
 	for _, opt := range opts {
 		opt(&cfg)
@@ -108,8 +123,34 @@ func NewMap(k, n, w int, opts ...MapOption) (*Map, error) {
 		}
 		m.shards[i] = obj
 	}
+	eng, err := txn.New(mapShards{m}, n)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	m.eng = eng
+	// One representative key per shard, for KeyForShard: scan the dense
+	// integers once (the hash is a bijection, so every shard is hit in
+	// expected ~K·lnK probes).
+	m.repKeys = make([]uint64, k)
+	filled := make([]bool, k)
+	for next, found := uint64(0), 0; found < k; next++ {
+		if i := m.ShardIndex(next); !filled[i] {
+			m.repKeys[i] = next
+			filled[i] = true
+			found++
+		}
+	}
 	return m, nil
 }
+
+// mapShards adapts a Map to the txn engine's substrate interface.
+type mapShards struct{ m *Map }
+
+func (s mapShards) Shards() int                    { return s.m.k }
+func (s mapShards) Words() int                     { return s.m.w }
+func (s mapShards) LL(p, i int, dst []uint64)      { s.m.shards[i].LL(p, dst) }
+func (s mapShards) SC(p, i int, src []uint64) bool { return s.m.shards[i].SC(p, src) }
+func (s mapShards) VL(p, i int) bool               { return s.m.shards[i].VL(p) }
 
 // Shards returns K, the shard count.
 func (m *Map) Shards() int { return m.k }
@@ -127,6 +168,12 @@ func (m *Map) Registry() *Registry { return m.reg }
 func (m *Map) ShardIndex(key uint64) int {
 	return int(mix64(key) % uint64(m.k))
 }
+
+// KeyForShard returns a key owned by shard i (so
+// ShardIndex(KeyForShard(i)) == i) — the inverse of ShardIndex for
+// workloads that pin one entity per shard (one account per shard, one
+// partition head per shard, ...) and address it through the key API.
+func (m *Map) KeyForShard(i int) uint64 { return m.repKeys[i] }
 
 // Acquire checks out a process id valid on every shard and returns a
 // handle bound to it. The handle must be used by one goroutine at a time
@@ -155,6 +202,14 @@ func (m *Map) Update(key uint64, f func(v []uint64)) int {
 	return h.Update(key, f)
 }
 
+// UpdateMulti acquires a slot, atomically applies f to the values of the
+// shards owning keys (see MapHandle.UpdateMulti), and releases the slot.
+func (m *Map) UpdateMulti(keys []uint64, f func(vals [][]uint64)) int {
+	h := m.Acquire()
+	defer h.Release()
+	return h.UpdateMulti(keys, f)
+}
+
 // Read acquires a slot, copies the current value of the shard owning key
 // into dst (len(dst) must be W), and releases the slot.
 func (m *Map) Read(key uint64, dst []uint64) {
@@ -166,14 +221,24 @@ func (m *Map) Read(key uint64, dst []uint64) {
 // Snapshot acquires a slot, reads every shard individually-atomically into
 // dst (dst must have K rows of W words; see NewSnapshotBuffer), and
 // releases the slot. Per-shard atomic, not cross-shard linearizable — see
-// MapHandle.Snapshot for the exact guarantees.
+// MapHandle.Snapshot for the exact guarantees and SnapshotAtomic for the
+// cross-shard linearizable (and costlier) variant.
 func (m *Map) Snapshot(dst [][]uint64) {
 	h := m.Acquire()
 	defer h.Release()
 	h.Snapshot(dst)
 }
 
-// NewSnapshotBuffer allocates a K×W destination for Snapshot.
+// SnapshotAtomic acquires a slot, takes a cross-shard linearizable
+// snapshot into dst (see MapHandle.SnapshotAtomic), and releases the slot.
+func (m *Map) SnapshotAtomic(dst [][]uint64) int {
+	h := m.Acquire()
+	defer h.Release()
+	return h.SnapshotAtomic(dst)
+}
+
+// NewSnapshotBuffer allocates a K×W destination for Snapshot and
+// SnapshotAtomic.
 func (m *Map) NewSnapshotBuffer() [][]uint64 {
 	buf := make([][]uint64, m.k)
 	backing := make([]uint64, m.k*m.w)
@@ -190,6 +255,7 @@ type MapHandle struct {
 	p        int
 	released bool
 	scratch  []uint64
+	multi    []int
 }
 
 // Process returns the underlying process id (the same id on every shard).
@@ -212,14 +278,25 @@ func (h *MapHandle) Release() {
 // current value in a scratch buffer reused across calls of this handle and
 // must mutate it in place; it may run several times, so it must be
 // side-effect free. Lock-free: a retry only happens when another process's
-// SC landed on the same shard.
+// SC landed on the same shard, or when a multi-key transaction was
+// mid-commit on it (in which case this process first helps the
+// transaction finish — the fast path pays just one atomic lock-word
+// load). The lock check sits between LL and SC: a transaction that locks
+// the shard after the check also reseals it with an SC, which invalidates
+// this LL's link, so the subsequent SC here fails rather than landing on
+// a locked shard.
 func (h *MapHandle) Update(key uint64, f func(v []uint64)) int {
 	if h.scratch == nil {
 		h.scratch = make([]uint64, h.m.w)
 	}
-	obj := h.m.shards[h.m.ShardIndex(key)]
+	i := h.m.ShardIndex(key)
+	obj := h.m.shards[i]
 	for attempt := 1; ; attempt++ {
 		obj.LL(h.p, h.scratch)
+		if ref := h.m.eng.Locked(h.p, i); ref != 0 {
+			h.m.eng.Help(h.p, i, ref)
+			continue
+		}
 		f(h.scratch)
 		if obj.SC(h.p, h.scratch) {
 			return attempt
@@ -227,39 +304,73 @@ func (h *MapHandle) Update(key uint64, f func(v []uint64)) int {
 	}
 }
 
+// UpdateMulti atomically applies f to the values of the shards owning
+// keys — a cross-shard atomic read-modify-write, linearizable against
+// every other map operation. f receives one W-word slice per key, in key
+// order (keys landing in the same shard alias the same slice), and must
+// mutate them in place; like Update's f it may run once per attempt and
+// must be deterministic and side-effect free. Returns the number of
+// attempts (1 = no conflicting operation intervened). Lock-free via the
+// helping protocol of internal/txn: a process stalled mid-commit never
+// blocks others.
+func (h *MapHandle) UpdateMulti(keys []uint64, f func(vals [][]uint64)) int {
+	h.multi = h.multi[:0]
+	for _, key := range keys {
+		h.multi = append(h.multi, h.m.ShardIndex(key))
+	}
+	return h.m.eng.Update(h.p, h.multi, f)
+}
+
 // Read copies the current value of the shard owning key into dst (len(dst)
-// must be W) — a wait-free atomic multiword read (one LL).
+// must be W) — an atomic multiword read. Lock-free: it only retries while
+// a multi-key transaction is mid-commit on the shard (helping it finish).
 func (h *MapHandle) Read(key uint64, dst []uint64) {
-	h.m.shards[h.m.ShardIndex(key)].LL(h.p, dst)
+	h.m.eng.Read(h.p, h.m.ShardIndex(key), dst)
 }
 
 // ReadShard copies shard i's current value into dst.
 func (h *MapHandle) ReadShard(i int, dst []uint64) {
-	h.m.shards[i].LL(h.p, dst)
+	h.m.eng.Read(h.p, i, dst)
 }
 
-// Snapshot reads every shard into dst (K rows of W words). Each LL is by
-// itself an atomic (and wait-free) multiword read, so every row is
-// internally consistent after the first pass; the second pass revalidates
-// each link with VL and re-reads shards whose link was broken by an
-// intervening SC, so each returned row is additionally *current* as of
-// its validation point near the end of the snapshot, rather than as of
-// the first pass. That freshness loop makes Snapshot lock-free (a hot
-// shard under sustained SC traffic can force re-reads) instead of
-// wait-free. The result is per-shard atomic only: the K rows need not
-// have coexisted at one instant.
+// Snapshot reads every shard into dst (K rows of W words). Every row is an
+// atomic read of its shard, and the VL pass re-reads shards whose link was
+// broken by an intervening SC, so each returned row is additionally
+// *current* as of its validation point near the end of the snapshot,
+// rather than as of the first pass. That freshness loop makes Snapshot
+// lock-free (a hot shard under sustained SC traffic can force re-reads)
+// instead of wait-free. The result is per-shard atomic only: the K rows
+// need not have coexisted at one instant. When the rows must form one
+// consistent cut, use SnapshotAtomic and pay its retry/fallback cost.
 func (h *MapHandle) Snapshot(dst [][]uint64) {
 	if len(dst) != h.m.k {
 		panic(fmt.Sprintf("shard: snapshot buffer has %d rows, want %d", len(dst), h.m.k))
 	}
-	for i, obj := range h.m.shards {
-		obj.LL(h.p, dst[i])
+	for i := range h.m.shards {
+		h.m.eng.Read(h.p, i, dst[i])
 	}
 	for i, obj := range h.m.shards {
 		for !obj.VL(h.p) {
-			obj.LL(h.p, dst[i])
+			h.m.eng.Read(h.p, i, dst[i])
 		}
 	}
+}
+
+// SnapshotAtomic reads every shard into dst (K rows of W words, see
+// NewSnapshotBuffer) as one cross-shard linearizable snapshot: all K
+// values coexisted at a single instant during the call. It first tries a
+// bounded number of optimistic double collects (LL every shard, then VL
+// every shard — if nothing moved between the passes, the values form a
+// cut) and under sustained write traffic falls back to the transaction
+// layer, which briefly locks all shards in order. The return value is the
+// number of attempts; above txn.SnapshotRetries means the fallback ran.
+// Lock-free, not wait-free: prefer Snapshot when per-shard atomicity is
+// enough.
+func (h *MapHandle) SnapshotAtomic(dst [][]uint64) int {
+	if len(dst) != h.m.k {
+		panic(fmt.Sprintf("shard: snapshot buffer has %d rows, want %d", len(dst), h.m.k))
+	}
+	return h.m.eng.Snapshot(h.p, dst)
 }
 
 // mix64 is the SplitMix64 finalizer: a full-avalanche bijection on uint64,
@@ -272,6 +383,12 @@ func mix64(x uint64) uint64 {
 	x ^= x >> 31
 	return x
 }
+
+// HashUint64 maps an integer key onto the uint64 key space (SplitMix64
+// finalizer — a bijection, so distinct inputs never collide), for callers
+// whose keys are small or dense integers. The byte-string counterpart is
+// HashBytes.
+func HashUint64(k uint64) uint64 { return mix64(k) }
 
 // HashBytes maps an arbitrary byte-string key onto the uint64 key space
 // (FNV-1a), for callers whose keys are not already integers.

@@ -110,6 +110,160 @@ func TestHashBytes(t *testing.T) {
 	}
 }
 
+func TestHashUint64(t *testing.T) {
+	if HashUint64(1234) == HashUint64(1235) {
+		t.Fatal("adjacent integer keys hash identically")
+	}
+	if HashUint64(1234) != HashUint64(1234) {
+		t.Fatal("HashUint64 is not deterministic")
+	}
+	// The finalizer is a bijection: a small dense range must not collide.
+	seen := map[uint64]bool{}
+	for k := uint64(0); k < 4096; k++ {
+		h := HashUint64(k)
+		if seen[h] {
+			t.Fatalf("collision at key %d", k)
+		}
+		seen[h] = true
+	}
+}
+
+func TestKeyForShard(t *testing.T) {
+	for _, k := range []int{1, 2, 7, 16} {
+		m, err := NewMap(k, 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < k; i++ {
+			if got := m.ShardIndex(m.KeyForShard(i)); got != i {
+				t.Fatalf("k=%d: KeyForShard(%d) lands in shard %d", k, i, got)
+			}
+		}
+	}
+}
+
+// shardKeys returns each shard's representative key, so tests can target
+// shards deliberately through the key API.
+func shardKeys(m *Map) []uint64 {
+	keys := make([]uint64, m.Shards())
+	for i := range keys {
+		keys[i] = m.KeyForShard(i)
+	}
+	return keys
+}
+
+func TestUpdateMultiBasics(t *testing.T) {
+	m, err := NewMap(4, 2, 2, WithInitial([]uint64{100, 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := shardKeys(m)
+	// A cross-shard transfer: shards 0 and 3 change together.
+	attempts := m.UpdateMulti([]uint64{keys[0], keys[3]}, func(vals [][]uint64) {
+		vals[0][0] -= 30
+		vals[1][0] += 30
+		vals[0][1]++
+		vals[1][1]++
+	})
+	if attempts != 1 {
+		t.Fatalf("uncontended UpdateMulti took %d attempts, want 1", attempts)
+	}
+	v := make([]uint64, 2)
+	m.Read(keys[0], v)
+	if v[0] != 70 || v[1] != 1 {
+		t.Fatalf("shard 0 = %v, want [70 1]", v)
+	}
+	m.Read(keys[3], v)
+	if v[0] != 130 || v[1] != 1 {
+		t.Fatalf("shard 3 = %v, want [130 1]", v)
+	}
+	m.Read(keys[1], v)
+	if v[0] != 100 || v[1] != 0 {
+		t.Fatalf("untouched shard 1 = %v, want [100 0]", v)
+	}
+	// Zero keys: a no-op.
+	if got := m.UpdateMulti(nil, func([][]uint64) { t.Fatal("f ran") }); got != 0 {
+		t.Fatalf("empty UpdateMulti returned %d, want 0", got)
+	}
+}
+
+func TestSnapshotAtomicQuiescent(t *testing.T) {
+	m, err := NewMap(3, 2, 1, WithInitial([]uint64{9}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := m.NewSnapshotBuffer()
+	if attempts := m.SnapshotAtomic(buf); attempts != 1 {
+		t.Fatalf("quiescent SnapshotAtomic took %d attempts, want 1", attempts)
+	}
+	for i, row := range buf {
+		if row[0] != 9 {
+			t.Fatalf("row %d = %v, want [9]", i, row)
+		}
+	}
+}
+
+// TestSnapshotAtomicConsistentCut is the guarantee Snapshot does NOT
+// give: writers move a unit between two shards with UpdateMulti (the
+// all-shards sum is invariant), and every SnapshotAtomic must see exactly
+// that sum. A merely per-shard-atomic view would catch one shard
+// pre-transfer and the other post-transfer.
+func TestSnapshotAtomicConsistentCut(t *testing.T) {
+	const (
+		k       = 4
+		total   = 1000 * k
+		writers = 2
+		snaps   = 1500
+	)
+	m, err := NewMap(k, writers+1, 1, WithInitial([]uint64{1000}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := shardKeys(m)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for wr := 0; wr < writers; wr++ {
+		wg.Add(1)
+		go func(wr int) {
+			defer wg.Done()
+			h := m.Acquire()
+			defer h.Release()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a, b := (wr+i)%k, (wr+i+1+wr)%k
+				if a == b {
+					continue
+				}
+				h.UpdateMulti([]uint64{keys[a], keys[b]}, func(vals [][]uint64) {
+					vals[0][0]--
+					vals[1][0]++
+				})
+			}
+		}(wr)
+	}
+
+	h := m.Acquire()
+	buf := m.NewSnapshotBuffer()
+	for i := 0; i < snaps; i++ {
+		h.SnapshotAtomic(buf)
+		var sum uint64
+		for _, row := range buf {
+			sum += row[0]
+		}
+		if sum != total {
+			close(stop)
+			t.Fatalf("snapshot %d: sum %d, want %d — not a consistent cut: %v", i, sum, total, buf)
+		}
+	}
+	h.Release()
+	close(stop)
+	wg.Wait()
+}
+
 // TestMapConcurrentCounters runs many goroutines incrementing per-key
 // counters through the registry and checks every increment landed exactly
 // once.

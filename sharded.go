@@ -43,9 +43,13 @@ func WithWaitPolicy(p WaitPolicy) RegistryOption {
 
 // Sharded is a K-shard array of independent N-process W-word LL/SC/VL
 // objects keyed by hash, with a shared goroutine registry. Per-key
-// operations are linearizable exactly as on a single Object; Snapshot is
-// per-shard atomic but not cross-shard linearizable. See NewSharded and
-// the internal/shard package documentation.
+// operations are linearizable exactly as on a single Object. For
+// cross-shard atomicity the map carries a lock-free transaction layer:
+// UpdateMulti applies one function atomically to the values of several
+// keys in different shards, and SnapshotAtomic returns a cross-shard
+// linearizable view of all K shards (Snapshot remains the cheaper,
+// per-shard-atomic read). See NewSharded and the internal/shard package
+// documentation for the exact guarantee/cost trade-offs.
 type Sharded = shard.Map
 
 // ShardedHandle binds a Sharded map to one acquired process id, valid on
@@ -84,3 +88,9 @@ func NewSharded(k, n, w int, opts ...ShardedOption) (*Sharded, error) {
 // HashBytes maps an arbitrary byte-string key onto the uint64 key space
 // used by Sharded, for callers whose keys are not already integers.
 func HashBytes(key []byte) uint64 { return shard.HashBytes(key) }
+
+// HashUint64 maps an integer key onto the uint64 key space used by
+// Sharded (a full-avalanche bijection, so distinct integers never
+// collide), for callers whose keys are small or dense integers — no byte
+// round-trip through HashBytes needed.
+func HashUint64(k uint64) uint64 { return shard.HashUint64(k) }

@@ -74,6 +74,116 @@ func TestHashBytesTopLevel(t *testing.T) {
 	}
 }
 
+func TestHashUint64TopLevel(t *testing.T) {
+	if mwllsc.HashUint64(7) == mwllsc.HashUint64(8) {
+		t.Fatal("distinct integer keys collide")
+	}
+}
+
+// TestShardedTransactions drives the public cross-shard transaction API:
+// concurrent multi-key transfers against concurrent single-key updates,
+// with atomic snapshots that must always balance.
+func TestShardedTransactions(t *testing.T) {
+	const (
+		shards  = 4
+		slots   = 4
+		initial = 100
+		perG    = 250
+	)
+	m, err := mwllsc.NewSharded(shards, slots, 1, mwllsc.WithShardedInitial([]uint64{initial}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Representative keys, one per shard.
+	keys := make([]uint64, shards)
+	for i := range keys {
+		keys[i] = m.KeyForShard(i)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := m.Acquire()
+			defer h.Release()
+			for i := 0; i < perG; i++ {
+				from, to := (g+i)%shards, (g+i+1)%shards
+				h.UpdateMulti([]uint64{keys[from], keys[to]}, func(vals [][]uint64) {
+					vals[0][0]--
+					vals[1][0]++
+				})
+			}
+		}(g)
+	}
+	auditFail := make(chan uint64, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h := m.Acquire()
+		defer h.Release()
+		buf := m.NewSnapshotBuffer()
+		for i := 0; i < perG; i++ {
+			h.SnapshotAtomic(buf)
+			var sum uint64
+			for _, row := range buf {
+				sum += row[0]
+			}
+			if sum != shards*initial {
+				select {
+				case auditFail <- sum:
+				default:
+				}
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case sum := <-auditFail:
+		t.Fatalf("atomic snapshot saw total %d, want %d", sum, shards*initial)
+	default:
+	}
+
+	buf := m.NewSnapshotBuffer()
+	m.SnapshotAtomic(buf)
+	var sum uint64
+	for _, row := range buf {
+		sum += row[0]
+	}
+	if sum != shards*initial {
+		t.Fatalf("final total %d, want %d", sum, shards*initial)
+	}
+}
+
+// ExampleShardedHandle_UpdateMulti transfers between two accounts that
+// live in different shards — atomically, in one transaction — and audits
+// with a cross-shard linearizable snapshot.
+func ExampleShardedHandle_UpdateMulti() {
+	m, err := mwllsc.NewSharded(4 /*shards*/, 2 /*slots*/, 1 /*word*/, mwllsc.WithShardedInitial([]uint64{100}))
+	if err != nil {
+		panic(err)
+	}
+	h := m.Acquire()
+	defer h.Release()
+
+	alice := mwllsc.HashBytes([]byte("acct:alice"))
+	bob := mwllsc.HashBytes([]byte("acct:bob"))
+	h.UpdateMulti([]uint64{alice, bob}, func(vals [][]uint64) {
+		vals[0][0] -= 25 // debit alice
+		vals[1][0] += 25 // credit bob, atomically with the debit
+	})
+
+	snap := m.NewSnapshotBuffer()
+	h.SnapshotAtomic(snap) // all shards from one instant
+	var total uint64
+	for _, row := range snap {
+		total += row[0]
+	}
+	fmt.Println("total:", total)
+	// Output: total: 400
+}
+
 // ExampleNewSharded serves a bank of counters from more goroutines than
 // the object has process slots: the registry hands out ids, the hash
 // spreads keys over shards.
