@@ -1,0 +1,39 @@
+package mwllsc
+
+import (
+	"mwllsc/internal/client"
+	"mwllsc/internal/wire"
+)
+
+// Client is a pooled, pipelining connection to an llscd server
+// (cmd/llscd): the remote counterpart of Sharded, with the same
+// consistency contract per operation — Add/Set/Read linearizable on the
+// key's shard, AddMulti/SetMulti one cross-shard atomic commit,
+// Snapshot per-shard atomic, SnapshotAtomic cross-shard linearizable.
+// All methods are safe for concurrent use; concurrent calls coalesce
+// into pipelined batches on the wire automatically. See Dial.
+type Client = client.Client
+
+// ClientOption configures Dial.
+type ClientOption = client.Option
+
+// ServerStats is the llscd counter snapshot returned by Client.Stats.
+type ServerStats = wire.ServerStats
+
+// Dial connects a Client to an llscd server.
+//
+//	c, err := mwllsc.Dial("127.0.0.1:7787", mwllsc.WithClientConns(4))
+//	...
+//	v, err := c.Add(ctx, mwllsc.HashBytes([]byte("user:1234")), []uint64{1, 0})
+func Dial(addr string, opts ...ClientOption) (*Client, error) {
+	return client.Dial(addr, opts...)
+}
+
+// WithClientConns sets the connection-pool size (default 1); each
+// connection's in-flight batch occupies one of the server's N registry
+// slots, so more connections raise server-side parallelism.
+func WithClientConns(n int) ClientOption { return client.WithConns(n) }
+
+// WithClientSendQueue sets the per-connection pipelining window
+// (default 256 requests).
+func WithClientSendQueue(n int) ClientOption { return client.WithSendQueue(n) }

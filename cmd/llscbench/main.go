@@ -1,7 +1,9 @@
-// Command llscbench regenerates the experiment tables E1-E10: the
+// Command llscbench regenerates the experiment tables E1-E11: the
 // empirical counterparts of the paper's Theorem 1 claims (E1-E7,
 // DESIGN.md), the scaling experiments for the sharded map and handle
-// registry (E8-E9), and the cross-shard transaction experiment (E10).
+// registry (E8-E9), the cross-shard transaction experiment (E10), and
+// the networked serving-layer load experiment (E11; cmd/llscload is its
+// standalone load generator).
 //
 // Usage:
 //
@@ -32,7 +34,7 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("llscbench", flag.ContinueOnError)
 	var (
-		exps     = fs.String("e", "", "comma-separated experiments to run (e1..e10); empty = all")
+		exps     = fs.String("e", "", "comma-separated experiments to run (e1..e11); empty = all")
 		implList = fs.String("impls", "", "comma-separated implementations (default: all of "+strings.Join(impls.Names(), ",")+")")
 		dur      = fs.Duration("dur", 150*time.Millisecond, "measurement window per throughput point")
 		iters    = fs.Int("iters", 30000, "iterations per latency point")
@@ -62,6 +64,7 @@ func run(args []string) int {
 		{"e8", bench.E8Sharding},
 		{"e9", bench.E9Registry},
 		{"e10", bench.E10Transactions},
+		{"e11", bench.E11NetServing},
 	}
 
 	want := map[string]bool{}

@@ -45,6 +45,12 @@ func TestRunShardExperiments(t *testing.T) {
 	}
 }
 
+func TestRunServingExperiment(t *testing.T) {
+	if code := run([]string{"-e", "e11", "-dur", "5ms"}); code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+}
+
 func TestRunJSONReport(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	if code := run([]string{"-e", "e7,e9", "-dur", "5ms", "-iters", "200", "-impls", "jp", "-json", path}); code != 0 {

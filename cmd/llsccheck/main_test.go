@@ -39,3 +39,16 @@ func TestRunBadFlag(t *testing.T) {
 		t.Fatalf("exit code %d, want 2", code)
 	}
 }
+
+func TestRunVerboseSeeds(t *testing.T) {
+	if code := run([]string{"-v", "-seeds", "2", "-n", "2", "-w", "1", "-ops", "1"}); code != 0 {
+		t.Fatalf("verbose exit code %d", code)
+	}
+}
+
+func TestRunExploreRespectsMaxRuns(t *testing.T) {
+	// A tight -maxruns cap must still exit cleanly (capped, not failed).
+	if code := run([]string{"-explore", "2", "-maxruns", "10", "-n", "2", "-w", "1", "-ops", "1"}); code != 0 {
+		t.Fatalf("capped explore exit code %d", code)
+	}
+}

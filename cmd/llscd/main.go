@@ -1,0 +1,122 @@
+// Command llscd is the mwllsc serving daemon: it owns a sharded
+// multiword LL/SC map (shard.Map) and serves the five data operations —
+// Update, Read, Snapshot, UpdateMulti, SnapshotAtomic — plus server
+// stats over TCP with the pipelined binary protocol of internal/wire.
+// Reach it with the mwllsc.Client (mwllsc.Dial) or any implementation
+// of the wire format.
+//
+// Usage:
+//
+//	llscd [-addr 127.0.0.1:7787] [-shards 16] [-slots 16] [-words 2]
+//	      [-impl jp] [-maxbatch 64] [-stats 0] [-v]
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: it stops
+// accepting, closes open connections, and waits for the per-connection
+// goroutines to drain. With -stats D it prints one counters line every
+// D (expvar-style: cumulative totals, not rates).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mwllsc/internal/impls"
+	"mwllsc/internal/server"
+)
+
+func main() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	os.Exit(run(os.Args[1:], stop, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stop <-chan os.Signal, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("llscd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:7787", "TCP listen address (port 0 picks a free port)")
+		shards   = fs.Int("shards", 16, "number of independent multiword objects (K)")
+		slots    = fs.Int("slots", 16, "process slots shared by all shards (N); bounds concurrent batches")
+		words    = fs.Int("words", 2, "value width per shard in 64-bit words (W)")
+		impl     = fs.String("impl", "jp", "implementation backing each shard (one of "+strings.Join(impls.Names(), ",")+")")
+		maxBatch = fs.Int("maxbatch", 64, "max pipelined requests executed per registry acquisition")
+		statsDur = fs.Duration("stats", 0, "print a cumulative stats line this often (0 = never)")
+		verbose  = fs.Bool("v", false, "log per-connection errors")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if !server.SnapshotFits(*shards, *words) {
+		fmt.Fprintf(stderr, "llscd: K=%d × W=%d words cannot fit a snapshot response in one wire frame\n", *shards, *words)
+		return 2
+	}
+	m, err := impls.NewSharded(*impl, *shards, *slots, *words)
+	if err != nil {
+		fmt.Fprintf(stderr, "llscd: %v\n", err)
+		return 1
+	}
+	opts := []server.Option{server.WithMaxBatch(*maxBatch)}
+	if *verbose {
+		opts = append(opts, server.WithLogf(func(format string, a ...any) {
+			fmt.Fprintf(stderr, format+"\n", a...)
+		}))
+	}
+	s := server.New(m, opts...)
+	bound, err := s.Listen(*addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "llscd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "llscd: serving K=%d shards × W=%d words (N=%d slots, impl=%s, maxbatch=%d) on %s\n",
+		*shards, *words, *slots, *impl, *maxBatch, bound)
+
+	served := make(chan error, 1)
+	go func() { served <- s.Serve() }()
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if *statsDur > 0 {
+		ticker = time.NewTicker(*statsDur)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+	for {
+		select {
+		case <-tick:
+			st := s.Stats()
+			fmt.Fprintf(stdout, "llscd: conns=%d/%d reqs=%d upd=%d read=%d snap=%d multi=%d batches=%d avgbatch=%.1f badreq=%d\n",
+				st.ConnsOpen, st.ConnsTotal, st.Reqs, st.Updates, st.Reads, st.Snapshots, st.Multis,
+				st.Batches, avg(st.Reqs, st.Batches), st.BadReqs)
+		case <-stop:
+			fmt.Fprintf(stdout, "llscd: shutting down\n")
+			if err := s.Close(); err != nil {
+				fmt.Fprintf(stderr, "llscd: close: %v\n", err)
+				return 1
+			}
+			<-served
+			st := s.Stats()
+			fmt.Fprintf(stdout, "llscd: served %d requests over %d connections\n", st.Reqs, st.ConnsTotal)
+			return 0
+		case err := <-served:
+			if err == server.ErrClosed {
+				return 0
+			}
+			fmt.Fprintf(stderr, "llscd: serve: %v\n", err)
+			return 1
+		}
+	}
+}
+
+func avg(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

@@ -1,0 +1,109 @@
+// Command llscload is the standalone load generator for the llscd
+// serving layer — the same closed-loop measurement as llscbench's E11,
+// pointed at any server. With -addr it drives a running llscd; without
+// it, it spins an in-process server over loopback first (the
+// self-contained E11 setup).
+//
+// Usage:
+//
+//	llscload [-addr host:port] [-conns 4] [-workers 64] [-dur 2s]
+//	         [-shards 16] [-slots 16] [-words 2] [-maxbatch 64] [-json out.json]
+//
+// It reports aggregate throughput, p50/p99 latency and the server's
+// average batch size (when the target exposes stats), in the same table
+// and JSON formats as llscbench, so runs slot into the BENCH_*.json
+// trajectory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"mwllsc/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("llscload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "", "llscd address to drive; empty = start an in-process server")
+		conns    = fs.Int("conns", 4, "client connection-pool size")
+		workers  = fs.Int("workers", 64, "closed-loop worker goroutines (pipelining depth = workers/conns)")
+		dur      = fs.Duration("dur", 2*time.Second, "measurement window")
+		shards   = fs.Int("shards", 16, "in-process server: shard count K")
+		slots    = fs.Int("slots", 16, "in-process server: process slots N")
+		words    = fs.Int("words", 2, "value width in 64-bit words W (must match a remote server)")
+		maxBatch = fs.Int("maxbatch", 64, "in-process server: max requests per registry acquisition")
+		jsonOut  = fs.String("json", "", "also write a JSON report to this path (\"-\" = stdout only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *conns < 1 || *workers < *conns {
+		fmt.Fprintf(stderr, "llscload: need conns >= 1 and workers >= conns (got %d/%d)\n", *conns, *workers)
+		return 2
+	}
+
+	target := *addr
+	if target == "" {
+		n := *slots
+		if n < *conns+2 {
+			// Each in-flight batch pins a slot; keep spares so the
+			// loadgen's stats calls never queue behind its own load.
+			n = *conns + 2
+		}
+		srv, a, err := bench.StartLoopbackServer(*shards, n, *words, *maxBatch)
+		if err != nil {
+			fmt.Fprintf(stderr, "llscload: %v\n", err)
+			return 1
+		}
+		defer srv.Close()
+		target = a
+		fmt.Fprintf(stdout, "llscload: in-process llscd (K=%d N=%d W=%d) on %s\n", *shards, n, *words, target)
+	}
+
+	res, err := bench.NetLoadClosedLoop(target, *conns, *workers, *words, *dur)
+	if err != nil {
+		fmt.Fprintf(stderr, "llscload: %v\n", err)
+		return 1
+	}
+
+	t := &bench.Table{
+		ID:    "e11",
+		Title: fmt.Sprintf("llscload: closed-loop serving load against %s (%v)", target, *dur),
+		Note:  "one Add per round trip per worker; workers pipeline through the shared connection pool.",
+		Cols:  []string{"conns", "inflight", "ops", "ops/s", "p50 us", "p99 us", "avg batch"},
+	}
+	t.AddRow(*conns, *workers, res.Ops, res.OpsPerSec,
+		float64(res.P50.Nanoseconds())/1e3, float64(res.P99.Nanoseconds())/1e3, res.AvgBatch)
+
+	jsonOnly := *jsonOut == "-"
+	if !jsonOnly {
+		t.Fprint(stdout)
+	}
+	if *jsonOut != "" {
+		report := bench.NewReport([]*bench.Table{t})
+		out := stdout
+		if !jsonOnly {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintf(stderr, "llscload: %v\n", err)
+				return 1
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := report.WriteJSON(out); err != nil {
+			fmt.Fprintf(stderr, "llscload: writing JSON report: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mwllsc/internal/bench"
+)
+
+func TestRunInProcess(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-conns", "1", "-workers", "2", "-dur", "30ms", "-shards", "2", "-words", "1"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d\nstderr: %s", code, errOut.String())
+	}
+	if s := out.String(); !strings.Contains(s, "ops/s") || !strings.Contains(s, "in-process llscd") {
+		t.Fatalf("unexpected output:\n%s", s)
+	}
+}
+
+func TestRunJSONReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "load.json")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-conns", "1", "-workers", "1", "-dur", "30ms", "-shards", "2", "-words", "1", "-json", path}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d\nstderr: %s", code, errOut.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report bench.Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("JSON report does not parse: %v", err)
+	}
+	if len(report.Experiments) != 1 || report.Experiments[0].ID != "e11" {
+		t.Fatalf("report experiments: %+v", report.Experiments)
+	}
+	if len(report.Experiments[0].Records) != 1 {
+		t.Fatalf("%d records, want 1", len(report.Experiments[0].Records))
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+func TestRunWorkersBelowConns(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-conns", "4", "-workers", "2", "-dur", "10ms"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+func TestRunUnreachableAddr(t *testing.T) {
+	var out, errOut bytes.Buffer
+	// A reserved port on loopback nothing listens on; dialing must fail fast.
+	if code := run([]string{"-addr", "127.0.0.1:1", "-conns", "1", "-workers", "1", "-dur", "10ms"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+}

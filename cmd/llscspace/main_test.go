@@ -17,6 +17,18 @@ func TestRunBadLists(t *testing.T) {
 	}
 }
 
+func TestRunSingleCell(t *testing.T) {
+	if code := run([]string{"-n", "2", "-w", "4"}); code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+}
+
+func TestRunMultiWidthSweep(t *testing.T) {
+	if code := run([]string{"-n", "2,4", "-w", "4,16"}); code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+}
+
 func TestParseInts(t *testing.T) {
 	got, err := parseInts(" 1, 2,3 ")
 	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 3 {

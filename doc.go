@@ -91,6 +91,38 @@
 // E10 experiment (cmd/llscbench) quantifies transaction throughput vs
 // key-span and conflict rate.
 //
+// # Serving: the networked layer
+//
+// The serving layer (internal/wire, internal/server, internal/client;
+// daemon cmd/llscd) exposes a Sharded map over TCP, so processes that
+// are not linked against the map can still operate on it:
+//
+//	c, _ := mwllsc.Dial("127.0.0.1:7787", mwllsc.WithClientConns(4))
+//	v, _ := c.Add(ctx, key, []uint64{1, 0})   // remote multiword fetch-and-add
+//	rows, _ := c.SnapshotAtomic(ctx)          // remote linearizable snapshot
+//
+// The wire protocol is a compact length-prefixed binary format with
+// request ids for pipelining: many requests ride one connection
+// concurrently and responses may return out of order. The server
+// gathers each connection's pipelined requests into batches executed
+// through a single registry acquisition (grouping single-key operations
+// by target shard); the client coalesces concurrent callers' requests
+// into few syscalls with no explicit batch API. Because closures do not
+// travel, remote updates are declarative: word-wise Add (wrapping) or
+// Set, single- or multi-key.
+//
+// The consistency contract is the in-process one, unchanged. Client.Add,
+// Client.Set and Client.Read are linearizable on the key's shard exactly
+// like MapHandle.Update/Read; AddMulti/SetMulti are one cross-shard
+// atomic commit (the transaction layer above); Client.Snapshot is
+// per-shard atomic; Client.SnapshotAtomic is cross-shard linearizable.
+// Batching never reorders two operations on the same key from one
+// connection. A server can also be embedded in-process (NewServer) and
+// the map used locally at the same time — both sides share one registry
+// and one linearizable history. The E11 experiment (cmd/llscbench -e
+// e11, standalone cmd/llscload) measures throughput and p50/p99 latency
+// over loopback vs connection count and pipelining depth.
+//
 // # Substrates
 //
 // The paper assumes hardware single-word LL/SC. On Go's sync/atomic this

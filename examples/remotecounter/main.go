@@ -1,0 +1,128 @@
+// Remote counter: the sharded counter served over TCP — the serving
+// layer's client/server pieces in one self-contained program.
+//
+// The server half owns a Sharded map and serves it with the llscd wire
+// protocol (mwllsc.NewServer — the embeddable form of cmd/llscd). The
+// client half dials it like any remote process would (mwllsc.Dial) and
+// drives per-key counters from many goroutines; concurrent calls
+// pipeline through the connection pool automatically, and the server
+// executes them in batches. A cross-shard AddMulti moves units between
+// two counters atomically, and the final SnapshotAtomic audits
+// conservation from one linearizable cut — the same guarantees as
+// in-process, now across a socket.
+//
+//	go run ./examples/remotecounter
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+
+	"mwllsc"
+)
+
+func main() {
+	const (
+		shards    = 8
+		slots     = 6
+		words     = 2 // [count, sum] moved together atomically
+		workers   = 32
+		perWorker = 200
+		delta     = 3
+		keyspace  = 64
+		transfers = 100 // cross-shard moves of word-1 units
+	)
+
+	// --- server half: own the map, serve it ---
+	m, err := mwllsc.NewSharded(shards, slots, words)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := mwllsc.NewServer(m)
+	served := make(chan error, 1)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { served <- srv.Serve() }()
+
+	// --- client half: dial and hammer, as a separate process would ---
+	c, err := mwllsc.Dial(addr.String(), mwllsc.WithClientConns(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				key := mwllsc.HashUint64(uint64((wkr*perWorker + i) % keyspace))
+				// One atomic fetch-and-add of both words; concurrent
+				// workers' requests coalesce into pipelined batches.
+				if _, err := c.Add(ctx, key, []uint64{1, delta}); err != nil {
+					log.Fatalf("worker %d: %v", wkr, err)
+				}
+			}
+		}(wkr)
+	}
+	// Concurrently, move sum units between two fixed counters in
+	// different shards — each move is one cross-shard atomic commit, so
+	// the grand total never wavers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		a, b := mwllsc.HashUint64(1_000_001), mwllsc.HashUint64(1_000_002)
+		for i := 0; i < transfers; i++ {
+			_, err := c.AddMulti(ctx, []uint64{a, b},
+				[][]uint64{{0, ^uint64(5) + 1}, {0, 5}}) // two's-complement -5 here, +5 there
+			if err != nil {
+				log.Fatalf("transfer %d: %v", i, err)
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Audit from one cross-shard linearizable cut.
+	rows, err := c.SnapshotAtomic(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var count, sum uint64
+	for _, row := range rows {
+		count += row[0]
+		sum += row[1]
+	}
+	const (
+		wantCount = workers * perWorker
+		wantSum   = uint64(wantCount * delta) // transfers conserve the sum
+	)
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("served:  K=%d shards × W=%d words on %s\n", stats.Shards, stats.Words, addr)
+	fmt.Printf("traffic: %d requests over %d conns in %d server batches (avg %.1f req/batch)\n",
+		stats.Reqs, stats.ConnsTotal, stats.Batches, float64(stats.Reqs)/float64(stats.Batches))
+	fmt.Printf("count:   %d (expected %d)\n", count, wantCount)
+	fmt.Printf("sum:     %d (expected %d, conserved across %d cross-shard transfers)\n", sum, wantSum, transfers)
+	if count != wantCount || sum != wantSum {
+		log.Fatal("totals do not match — updates lost, duplicated, or torn!")
+	}
+
+	// Graceful teardown: client first, then drain the server.
+	c.Close()
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := <-served; !errors.Is(err, mwllsc.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	fmt.Println("conserved across the wire; server drained cleanly")
+}

@@ -57,7 +57,7 @@ func TestExamplesRun(t *testing.T) {
 	go_ := goTool(t)
 	// The examples that terminate on their own; each must exit 0 within
 	// the timeout (they log.Fatal on any broken invariant).
-	for _, name := range []string{"quickstart", "shardedcounter", "bankledger"} {
+	for _, name := range []string{"quickstart", "shardedcounter", "bankledger", "remotecounter"} {
 		t.Run(name, func(t *testing.T) {
 			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 			defer cancel()

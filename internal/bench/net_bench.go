@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"mwllsc/internal/client"
+	"mwllsc/internal/server"
+	"mwllsc/internal/shard"
+	"mwllsc/internal/wire"
+)
+
+// StartLoopbackServer builds a k×w map with n slots and serves it on a
+// free loopback port — the in-process llscd the serving benchmarks (and
+// cmd/llscload without -addr) measure against. Callers own Close.
+func StartLoopbackServer(k, n, w, maxBatch int) (*server.Server, string, error) {
+	m, err := shard.NewMap(k, n, w)
+	if err != nil {
+		return nil, "", err
+	}
+	s := server.New(m, server.WithMaxBatch(maxBatch))
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	go s.Serve()
+	return s, addr.String(), nil
+}
+
+// NetLoadResult is one closed-loop load measurement point.
+type NetLoadResult struct {
+	Ops       int64         // operations completed
+	OpsPerSec float64       // aggregate throughput
+	P50       time.Duration // median request latency
+	P99       time.Duration // tail request latency
+	AvgBatch  float64       // server-side requests per registry acquisition (0 if unknown)
+}
+
+// latencySamples bounds per-worker latency recording so long runs do
+// not grow memory without bound; beyond it, sampling decimates.
+const latencySamples = 1 << 15
+
+// NetLoadClosedLoop drives addr with `workers` closed-loop goroutines
+// (each waits for its response before issuing the next request — the
+// load a synchronous service client applies) spread over a pool of
+// `conns` connections, for roughly dur. Every operation is a W-word
+// Add on a pseudo-random key. Workers sharing a connection pipeline
+// through it, so conns controls server-side parallelism and
+// workers/conns the pipelining depth per connection.
+func NetLoadClosedLoop(addr string, conns, workers, w int, dur time.Duration) (NetLoadResult, error) {
+	c, err := client.Dial(addr, client.WithConns(conns))
+	if err != nil {
+		return NetLoadResult{}, err
+	}
+	defer c.Close()
+
+	var before wire.ServerStats
+	if before, err = c.Stats(context.Background()); err != nil {
+		return NetLoadResult{}, err
+	}
+
+	var (
+		wg      sync.WaitGroup
+		stopped = make(chan struct{})
+		counts  = make([]int64, workers)
+		lats    = make([][]time.Duration, workers)
+		errs    = make(chan error, workers)
+	)
+	ctx := context.Background()
+	deltas := make([]uint64, w)
+	deltas[0] = 1
+	start := time.Now()
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, 4096)
+			var done int64
+			key := uint64(g) << 40
+			for {
+				select {
+				case <-stopped:
+					counts[g], lats[g] = done, lat
+					return
+				default:
+				}
+				key++
+				t0 := time.Now()
+				if _, err := c.Add(ctx, shard.HashUint64(key), deltas); err != nil {
+					counts[g], lats[g] = done, lat
+					errs <- fmt.Errorf("bench: net worker %d: %w", g, err)
+					return
+				}
+				d := time.Since(t0)
+				done++
+				if len(lat) < latencySamples {
+					lat = append(lat, d)
+				} else if done%16 == 0 { // decimate once full, keeping tail coverage
+					lat[int(done/16)%latencySamples] = d
+				}
+			}
+		}(g)
+	}
+	time.Sleep(dur)
+	close(stopped)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	select {
+	case err := <-errs:
+		return NetLoadResult{}, err
+	default:
+	}
+
+	var total int64
+	var all []time.Duration
+	for g := range counts {
+		total += counts[g]
+		all = append(all, lats[g]...)
+	}
+	if total == 0 {
+		return NetLoadResult{}, fmt.Errorf("bench: no net ops completed")
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res := NetLoadResult{
+		Ops:       total,
+		OpsPerSec: float64(total) / elapsed,
+		P50:       all[len(all)/2],
+		P99:       all[len(all)*99/100],
+	}
+	if after, err := c.Stats(context.Background()); err == nil {
+		if db := after.Batches - before.Batches; db > 0 {
+			res.AvgBatch = float64(after.Reqs-before.Reqs) / float64(db)
+		}
+	}
+	return res, nil
+}
+
+// E11NetServing builds the serving-layer load table: closed-loop Add
+// throughput and latency over loopback TCP vs connection count and
+// per-connection pipelining depth, against one in-process llscd. This
+// is the experiment that turns the in-process E8 numbers into
+// end-to-end service numbers: the deltas between the two are the wire,
+// syscall and batching costs.
+func E11NetServing(o Options) (*Table, error) {
+	o = o.withDefaults()
+	const (
+		k        = 16
+		w        = 2
+		maxBatch = 64
+	)
+	type point struct{ conns, perConn int }
+	points := []point{
+		{1, 1}, {1, 8}, {1, 32},
+		{2, 8}, {2, 32},
+		{4, 8}, {4, 32},
+	}
+	maxConns := 0
+	for _, p := range points {
+		if p.conns > maxConns {
+			maxConns = p.conns
+		}
+	}
+	// Each in-flight batch pins one registry slot; a couple of spares
+	// keep Stats and stragglers from queueing behind the loadgen.
+	srv, addr, err := StartLoopbackServer(k, maxConns+2, w, maxBatch)
+	if err != nil {
+		return nil, fmt.Errorf("E11: %w", err)
+	}
+	defer srv.Close()
+
+	t := &Table{
+		ID: "e11",
+		Title: fmt.Sprintf("E11: networked serving over loopback TCP (K=%d shards, W=%d, maxbatch=%d, %v/point)",
+			k, w, maxBatch, o.Dur),
+		Note: "closed-loop Add(key, deltas) load; conns = client pool size (server-side parallelism), " +
+			"inflight = concurrent workers (pipelining depth = inflight/conns); " +
+			"avg batch = server requests per registry acquisition.",
+		Cols: []string{"conns", "inflight", "ops/s", "p50 us", "p99 us", "avg batch"},
+	}
+	for _, p := range points {
+		res, err := NetLoadClosedLoop(addr, p.conns, p.conns*p.perConn, w, o.Dur)
+		if err != nil {
+			return nil, fmt.Errorf("E11 conns=%d inflight=%d: %w", p.conns, p.conns*p.perConn, err)
+		}
+		t.AddRow(p.conns, p.conns*p.perConn, res.OpsPerSec,
+			float64(res.P50.Nanoseconds())/1e3, float64(res.P99.Nanoseconds())/1e3, res.AvgBatch)
+	}
+	return t, nil
+}

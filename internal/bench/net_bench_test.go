@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNetLoadClosedLoop(t *testing.T) {
+	srv, addr, err := StartLoopbackServer(4, 4, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	res, err := NetLoadClosedLoop(addr, 2, 4, 2, 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 || res.OpsPerSec <= 0 {
+		t.Fatalf("no throughput measured: %+v", res)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 {
+		t.Fatalf("implausible latencies: %+v", res)
+	}
+	if res.AvgBatch <= 0 {
+		t.Fatalf("no batching stats: %+v", res)
+	}
+}
+
+func TestNetLoadWrongWidthFails(t *testing.T) {
+	srv, addr, err := StartLoopbackServer(2, 3, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// w=1 against a W=4 server: the server rejects every Add.
+	if _, err := NetLoadClosedLoop(addr, 1, 1, 1, 20*time.Millisecond); err == nil {
+		t.Fatal("width mismatch went unnoticed")
+	}
+}
+
+func TestE11NetServing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-point load run; skipped with -short")
+	}
+	tab, err := E11NetServing(Options{Dur: 10 * time.Millisecond, Iters: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ID != "e11" || len(tab.Rows) != 7 || len(tab.Cols) != 6 {
+		t.Fatalf("table shape: id=%s rows=%d cols=%d", tab.ID, len(tab.Rows), len(tab.Cols))
+	}
+}

@@ -1,0 +1,449 @@
+// Package client is the Go client for the llscd serving layer: a
+// connection pool speaking the wire protocol (internal/wire) with
+// request pipelining and automatic write coalescing.
+//
+// Every call is safe for concurrent use. Calls are spread round-robin
+// over the pool's connections; on each connection a writer goroutine
+// drains a send queue and flushes only when the queue runs empty, so
+// concurrent callers' requests coalesce into few syscalls and pipeline
+// through the server's batch executor without any explicit batch API.
+// A reader goroutine matches responses — which the server may reorder —
+// back to callers by request id. Contexts are honored: a canceled call
+// abandons its slot (the response, when it arrives, is dropped).
+//
+// The remote operations carry the same consistency contract as the
+// in-process shard.Map they reach: per-key Update/Read linearizable per
+// shard, UpdateMulti a cross-shard atomic commit, Snapshot per-shard
+// atomic, SnapshotAtomic cross-shard linearizable.
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mwllsc/internal/wire"
+)
+
+// Option configures Dial.
+type Option func(*config)
+
+type config struct {
+	conns       int
+	dialTimeout time.Duration
+	queue       int
+}
+
+// WithConns sets the pool size (default 1). More connections raise the
+// server-side parallelism ceiling: each in-flight batch occupies one
+// registry slot, and batches from different connections execute
+// concurrently.
+func WithConns(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.conns = n
+		}
+	}
+}
+
+// WithDialTimeout bounds each connection attempt (default 5s).
+func WithDialTimeout(d time.Duration) Option {
+	return func(c *config) {
+		if d > 0 {
+			c.dialTimeout = d
+		}
+	}
+}
+
+// WithSendQueue sets the per-connection send queue depth (default 256)
+// — the pipelining window per connection.
+func WithSendQueue(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.queue = n
+		}
+	}
+}
+
+// ErrClosed is returned by calls on a closed Client.
+var ErrClosed = errors.New("client: closed")
+
+// Client is a pooled connection to one llscd server.
+type Client struct {
+	conns  []*conn
+	next   atomic.Uint64
+	closed atomic.Bool
+}
+
+// Dial connects the pool to addr.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	cfg := config{conns: 1, dialTimeout: 5 * time.Second, queue: 256}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	c := &Client{}
+	for i := 0; i < cfg.conns; i++ {
+		nc, err := net.DialTimeout("tcp", addr, cfg.dialTimeout)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("client: dialing %s: %w", addr, err)
+		}
+		if tc, ok := nc.(*net.TCPConn); ok {
+			tc.SetNoDelay(true) // latency over bandwidth; coalescing happens in the writer
+		}
+		c.conns = append(c.conns, newConn(nc, cfg.queue))
+	}
+	return c, nil
+}
+
+// Close tears down every connection; in-flight calls fail with ErrClosed.
+func (c *Client) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	for _, cn := range c.conns {
+		cn.close(ErrClosed)
+	}
+	return nil
+}
+
+// pick returns the next connection round-robin, skipping broken ones.
+func (c *Client) pick() (*conn, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	n := len(c.conns)
+	// Reduce in uint64 before narrowing: int(counter) goes negative on
+	// 32-bit platforms once the counter passes 2^31.
+	start := int((c.next.Add(1) - 1) % uint64(n))
+	for i := 0; i < n; i++ {
+		cn := c.conns[(start+i)%n]
+		if cn.err() == nil {
+			return cn, nil
+		}
+	}
+	return nil, fmt.Errorf("client: all %d connections broken: %w", n, c.conns[start].err())
+}
+
+// do sends req on one connection and waits for its response or ctx.
+func (c *Client) do(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	cn, err := c.pick()
+	if err != nil {
+		return nil, err
+	}
+	return cn.do(ctx, req)
+}
+
+// ok maps a non-OK response status to an error.
+func ok(resp *wire.Response) error {
+	switch resp.Status {
+	case wire.StatusOK:
+		return nil
+	case wire.StatusShutdown:
+		return fmt.Errorf("client: server shutting down: %s", resp.Err)
+	default:
+		return fmt.Errorf("client: %v: %s", resp.Status, resp.Err)
+	}
+}
+
+// Ping round-trips an empty request.
+func (c *Client) Ping(ctx context.Context) error {
+	resp, err := c.do(ctx, &wire.Request{Op: wire.OpPing})
+	if err != nil {
+		return err
+	}
+	return ok(resp)
+}
+
+// Read returns the current W-word value of the shard owning key.
+func (c *Client) Read(ctx context.Context, key uint64) ([]uint64, error) {
+	resp, err := c.do(ctx, &wire.Request{Op: wire.OpRead, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	if err := ok(resp); err != nil {
+		return nil, err
+	}
+	return resp.Data, nil
+}
+
+// Add atomically adds deltas (word by word, wrapping; len = the map's W)
+// to the value owning key and returns the resulting value — the
+// multiword fetch-and-add.
+func (c *Client) Add(ctx context.Context, key uint64, deltas []uint64) ([]uint64, error) {
+	return c.update(ctx, wire.ModeAdd, key, deltas)
+}
+
+// Set atomically overwrites the value owning key and returns the stored
+// value.
+func (c *Client) Set(ctx context.Context, key uint64, vals []uint64) ([]uint64, error) {
+	return c.update(ctx, wire.ModeSet, key, vals)
+}
+
+func (c *Client) update(ctx context.Context, mode wire.Mode, key uint64, args []uint64) ([]uint64, error) {
+	resp, err := c.do(ctx, &wire.Request{Op: wire.OpUpdate, Mode: mode, Key: key, Args: args})
+	if err != nil {
+		return nil, err
+	}
+	if err := ok(resp); err != nil {
+		return nil, err
+	}
+	return resp.Data, nil
+}
+
+// AddMulti atomically adds deltas[i] to the value of keys[i] for all i
+// in one cross-shard transaction (len(deltas) = len(keys), each W
+// words), returning the resulting values. Keys in the same shard alias
+// the same stored value, exactly as in-process.
+func (c *Client) AddMulti(ctx context.Context, keys []uint64, deltas [][]uint64) ([][]uint64, error) {
+	return c.updateMulti(ctx, wire.ModeAdd, keys, deltas)
+}
+
+// SetMulti atomically overwrites the values of keys in one cross-shard
+// transaction, returning the stored values.
+func (c *Client) SetMulti(ctx context.Context, keys []uint64, vals [][]uint64) ([][]uint64, error) {
+	return c.updateMulti(ctx, wire.ModeSet, keys, vals)
+}
+
+func (c *Client) updateMulti(ctx context.Context, mode wire.Mode, keys []uint64, args [][]uint64) ([][]uint64, error) {
+	if len(args) != len(keys) {
+		return nil, fmt.Errorf("client: %d keys but %d arg rows", len(keys), len(args))
+	}
+	flat := make([]uint64, 0, len(keys)*wordsOf(args))
+	for _, row := range args {
+		flat = append(flat, row...)
+	}
+	resp, err := c.do(ctx, &wire.Request{Op: wire.OpUpdateMulti, Mode: mode, Keys: keys, Args: flat})
+	if err != nil {
+		return nil, err
+	}
+	if err := ok(resp); err != nil {
+		return nil, err
+	}
+	return rows(resp), nil
+}
+
+// Snapshot returns every shard's value (K rows of W words), each row
+// individually atomic (rows may stem from different instants; see
+// SnapshotAtomic for one consistent cut).
+func (c *Client) Snapshot(ctx context.Context) ([][]uint64, error) {
+	return c.snapshot(ctx, wire.OpSnapshot)
+}
+
+// SnapshotAtomic returns every shard's value from one instant — the
+// cross-shard linearizable snapshot.
+func (c *Client) SnapshotAtomic(ctx context.Context) ([][]uint64, error) {
+	return c.snapshot(ctx, wire.OpSnapshotAtomic)
+}
+
+func (c *Client) snapshot(ctx context.Context, op wire.Op) ([][]uint64, error) {
+	resp, err := c.do(ctx, &wire.Request{Op: op})
+	if err != nil {
+		return nil, err
+	}
+	if err := ok(resp); err != nil {
+		return nil, err
+	}
+	return rows(resp), nil
+}
+
+// Stats returns the server's counter snapshot.
+func (c *Client) Stats(ctx context.Context) (wire.ServerStats, error) {
+	resp, err := c.do(ctx, &wire.Request{Op: wire.OpStats})
+	if err != nil {
+		return wire.ServerStats{}, err
+	}
+	if err := ok(resp); err != nil {
+		return wire.ServerStats{}, err
+	}
+	return wire.DecodeStats(resp.Data)
+}
+
+// rows reshapes a response's flat data into its Rows×Words grid.
+func rows(resp *wire.Response) [][]uint64 {
+	w := int(resp.Words)
+	out := make([][]uint64, resp.Rows)
+	for i := range out {
+		out[i] = resp.Data[i*w : (i+1)*w]
+	}
+	return out
+}
+
+func wordsOf(rows [][]uint64) int {
+	if len(rows) == 0 {
+		return 0
+	}
+	return len(rows[0])
+}
+
+// pending is one in-flight request's completion slot.
+type pending struct {
+	done chan struct{}
+	resp wire.Response
+	err  error
+}
+
+// conn is one pooled connection: a send queue drained by a writer
+// goroutine (coalescing frames) and a reader goroutine completing
+// pendings by id.
+type conn struct {
+	nc     net.Conn
+	send   chan []byte   // encoded request payloads awaiting the writer
+	dead   chan struct{} // closed when the conn fails or is closed
+	close1 sync.Once
+
+	mu     sync.Mutex
+	pend   map[uint64]*pending
+	nextID uint64
+	broken error
+}
+
+func newConn(nc net.Conn, queue int) *conn {
+	cn := &conn{
+		nc:   nc,
+		send: make(chan []byte, queue),
+		dead: make(chan struct{}),
+		pend: make(map[uint64]*pending),
+	}
+	go cn.writeLoop()
+	go cn.readLoop()
+	return cn
+}
+
+func (cn *conn) err() error {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	return cn.broken
+}
+
+// close fails the connection: every pending and queued request
+// completes with err, and the socket is torn down.
+func (cn *conn) close(err error) {
+	cn.close1.Do(func() {
+		cn.mu.Lock()
+		cn.broken = err
+		pend := cn.pend
+		cn.pend = map[uint64]*pending{}
+		cn.mu.Unlock()
+		close(cn.dead)
+		cn.nc.Close()
+		for _, p := range pend {
+			p.err = err
+			close(p.done)
+		}
+	})
+}
+
+// do registers a pending slot, enqueues the encoded request, and waits.
+func (cn *conn) do(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	p := &pending{done: make(chan struct{})}
+
+	cn.mu.Lock()
+	if cn.broken != nil {
+		err := cn.broken
+		cn.mu.Unlock()
+		return nil, err
+	}
+	cn.nextID++
+	id := cn.nextID
+	cn.pend[id] = p
+	cn.mu.Unlock()
+
+	req.ID = id
+	select {
+	case cn.send <- wire.AppendRequest(nil, req):
+	case <-ctx.Done():
+		cn.forget(id)
+		return nil, ctx.Err()
+	case <-p.done:
+		return nil, p.err // connection failed while we queued
+	}
+
+	select {
+	case <-p.done:
+		if p.err != nil {
+			return nil, p.err
+		}
+		return &p.resp, nil
+	case <-ctx.Done():
+		cn.forget(id)
+		return nil, ctx.Err()
+	}
+}
+
+// forget abandons a pending slot (context cancellation); a late
+// response for the id is dropped by the reader.
+func (cn *conn) forget(id uint64) {
+	cn.mu.Lock()
+	delete(cn.pend, id)
+	cn.mu.Unlock()
+}
+
+// writeLoop drains the send queue, coalescing every already-queued
+// request into one buffer before handing it to the kernel.
+func (cn *conn) writeLoop() {
+	bw := bufio.NewWriterSize(cn.nc, 64<<10)
+	for {
+		var payload []byte
+		select {
+		case payload = <-cn.send:
+		case <-cn.dead:
+			return
+		}
+		if err := wire.WriteFrame(bw, payload); err != nil {
+			cn.close(fmt.Errorf("client: write: %w", err))
+			return
+		}
+		// Coalesce: keep encoding while more requests are queued; flush
+		// only when the queue runs empty.
+		for {
+			select {
+			case next := <-cn.send:
+				if err := wire.WriteFrame(bw, next); err != nil {
+					cn.close(fmt.Errorf("client: write: %w", err))
+					return
+				}
+				continue
+			default:
+			}
+			break
+		}
+		if err := bw.Flush(); err != nil {
+			cn.close(fmt.Errorf("client: flush: %w", err))
+			return
+		}
+	}
+}
+
+// readLoop decodes response frames and completes pendings by id.
+func (cn *conn) readLoop() {
+	br := bufio.NewReaderSize(cn.nc, 64<<10)
+	var frame []byte
+	for {
+		var err error
+		frame, err = wire.ReadFrame(br, frame)
+		if err != nil {
+			cn.close(fmt.Errorf("client: read: %w", err))
+			return
+		}
+		var resp wire.Response
+		if err := wire.DecodeResponse(&resp, frame); err != nil {
+			cn.close(err)
+			return
+		}
+		cn.mu.Lock()
+		p := cn.pend[resp.ID]
+		delete(cn.pend, resp.ID)
+		cn.mu.Unlock()
+		if p == nil {
+			continue // canceled caller, or the server's id-0 error frame
+		}
+		p.resp = resp
+		close(p.done)
+	}
+}

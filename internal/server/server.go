@@ -1,0 +1,508 @@
+// Package server exposes a shard.Map over TCP with the wire protocol
+// (internal/wire): the serving layer that turns the in-process
+// data structure into a system other processes can reach.
+//
+// Each accepted connection runs two goroutines. The reader decodes
+// request frames and gathers them into batches: it blocks for the first
+// request, then drains whatever else has already arrived (up to
+// MaxBatch), so under pipelined load one registry Acquire/Release pays
+// for many operations. Within a batch, single-key operations execute
+// grouped by target shard — touching each shard's memory once while it
+// is hot — which reorders responses relative to arrival; the request id
+// in every response frame is what lets clients match them back up. The
+// writer goroutine streams completed responses out and flushes only
+// when its queue runs empty, coalescing many small frames into few
+// syscalls.
+//
+// Consistency is exactly the in-process contract: per-key operations
+// are linearizable per shard, UpdateMulti is a cross-shard atomic
+// commit, Snapshot is per-shard atomic, SnapshotAtomic cross-shard
+// linearizable. Batching never weakens this — a batch is just the same
+// sequence of linearizable operations issued by one process slot, and
+// operations of one connection that target the same key execute in
+// arrival order (shard grouping is order-preserving per shard).
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"mwllsc/internal/shard"
+	"mwllsc/internal/wire"
+)
+
+// Option configures New.
+type Option func(*Server)
+
+// WithMaxBatch caps how many pipelined requests one handle acquisition
+// may execute (default 64). Larger batches amortize registry traffic
+// further but hold a process slot longer.
+func WithMaxBatch(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBatch = n
+		}
+	}
+}
+
+// WithLogf installs a logger for per-connection errors (default: drop
+// them; a dying connection is the client's problem, not the server's).
+func WithLogf(logf func(format string, args ...any)) Option {
+	return func(s *Server) { s.logf = logf }
+}
+
+// Server serves a shard.Map over TCP.
+type Server struct {
+	m        *shard.Map
+	maxBatch int
+	logf     func(format string, args ...any)
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+
+	connsTotal atomic.Uint64
+	connsOpen  atomic.Uint64
+	reqs       atomic.Uint64
+	updates    atomic.Uint64
+	reads      atomic.Uint64
+	snapshots  atomic.Uint64
+	multis     atomic.Uint64
+	batches    atomic.Uint64
+	badReqs    atomic.Uint64
+}
+
+// New creates a server over m. The map is shared: in-process callers may
+// keep using it concurrently with remote traffic.
+func New(m *shard.Map, opts ...Option) *Server {
+	s := &Server{
+		m:        m,
+		maxBatch: 64,
+		logf:     func(string, ...any) {},
+		conns:    make(map[net.Conn]struct{}),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Map returns the served map.
+func (s *Server) Map() *shard.Map { return s.m }
+
+// ErrClosed is returned by Serve after Close.
+var ErrClosed = errors.New("server: closed")
+
+// Listen binds addr (e.g. "127.0.0.1:7787"; port 0 picks a free port)
+// and remembers the listener so Addr works before Serve is called.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		l.Close()
+		return nil, ErrClosed
+	}
+	if s.listener != nil {
+		l.Close()
+		return nil, errors.New("server: already listening")
+	}
+	s.listener = l
+	return l.Addr(), nil
+}
+
+// Addr returns the bound address, or nil before Listen.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return nil
+	}
+	return s.listener.Addr()
+}
+
+// Serve accepts connections on the listener bound by Listen until Close.
+// It always returns a non-nil error; after a clean Close that error is
+// ErrClosed.
+func (s *Server) Serve() error {
+	s.mu.Lock()
+	l := s.listener
+	closed := s.closed
+	s.mu.Unlock()
+	if l == nil {
+		return errors.New("server: Serve before Listen")
+	}
+	if closed {
+		return ErrClosed
+	}
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return ErrClosed
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.connsTotal.Add(1)
+		s.connsOpen.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	if _, err := s.Listen(addr); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// Close stops accepting, closes every open connection, and waits for
+// all connection goroutines to drain. Safe to call more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	l := s.listener
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// Stats returns a point-in-time snapshot of the server counters plus
+// the served map's geometry.
+func (s *Server) Stats() wire.ServerStats {
+	return wire.ServerStats{
+		Shards:     uint64(s.m.Shards()),
+		Slots:      uint64(s.m.N()),
+		Words:      uint64(s.m.W()),
+		ConnsTotal: s.connsTotal.Load(),
+		ConnsOpen:  s.connsOpen.Load(),
+		Reqs:       s.reqs.Load(),
+		Updates:    s.updates.Load(),
+		Reads:      s.reads.Load(),
+		Snapshots:  s.snapshots.Load(),
+		Multis:     s.multis.Load(),
+		Batches:    s.batches.Load(),
+		BadReqs:    s.badReqs.Load(),
+	}
+}
+
+func (s *Server) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	defer s.connsOpen.Add(^uint64(0))
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+
+	// The writer owns the outbound half: it encodes responses arriving on
+	// out and flushes whenever the queue runs dry. Buffered so the reader
+	// can race ahead within a batch.
+	out := make(chan *wire.Response, 4*s.maxBatch)
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		s.writeLoop(c, out)
+	}()
+	s.readLoop(c, out)
+	close(out)
+	writerWG.Wait()
+}
+
+// writeLoop encodes responses and writes them with frame coalescing: it
+// keeps appending frames to one buffer while more responses are queued
+// and hands the kernel a single write when the queue is empty.
+func (s *Server) writeLoop(c net.Conn, out <-chan *wire.Response) {
+	var buf, payload []byte
+	for resp := range out {
+		payload = wire.AppendResponse(payload[:0], resp)
+		buf = wire.AppendFrame(buf[:0], payload)
+		// Coalesce whatever else is already queued.
+		for len(buf) < 256<<10 {
+			select {
+			case next, ok := <-out:
+				if !ok {
+					if _, err := c.Write(buf); err != nil {
+						s.logf("server: write to %v: %v", c.RemoteAddr(), err)
+					}
+					return
+				}
+				payload = wire.AppendResponse(payload[:0], next)
+				buf = wire.AppendFrame(buf, payload)
+			default:
+				goto flush
+			}
+		}
+	flush:
+		if _, err := c.Write(buf); err != nil {
+			s.logf("server: write to %v: %v", c.RemoteAddr(), err)
+			// Drain so the reader never blocks on a dead connection.
+			for range out {
+			}
+			return
+		}
+	}
+}
+
+// batchReq is one decoded request waiting in a batch, with its target
+// shard precomputed for grouping.
+type batchReq struct {
+	req    wire.Request
+	shardI int // target shard for Read/Update; -1 otherwise
+}
+
+// readLoop decodes frames into batches and executes them. It returns on
+// any read or protocol error (the connection is then closed).
+func (s *Server) readLoop(c net.Conn, out chan<- *wire.Response) {
+	br := bufio.NewReaderSize(c, 64<<10)
+	batch := make([]batchReq, 0, s.maxBatch)
+	var frame []byte
+	for {
+		// Block for the head of the next batch.
+		var err error
+		frame, err = wire.ReadFrame(br, frame)
+		if err != nil {
+			return
+		}
+		batch = batch[:0]
+		frame, batch = s.appendDecoded(frame, batch, out)
+		// Drain requests that already arrived, without blocking.
+		for len(batch) < s.maxBatch && br.Buffered() >= 4 {
+			frame, err = wire.ReadFrame(br, frame)
+			if err != nil {
+				s.executeBatch(batch, out)
+				return
+			}
+			frame, batch = s.appendDecoded(frame, batch, out)
+		}
+		s.executeBatch(batch, out)
+	}
+}
+
+// appendDecoded decodes frame into a new batch slot; malformed requests
+// are answered immediately with StatusBadRequest and not batched.
+func (s *Server) appendDecoded(frame []byte, batch []batchReq, out chan<- *wire.Response) ([]byte, []batchReq) {
+	// Reslice over a recycled slot when possible: DecodeRequest resets
+	// every field and reuses the slot's Keys/Args backing arrays, which
+	// is where the per-request allocations would otherwise be.
+	if len(batch) < cap(batch) {
+		batch = batch[:len(batch)+1]
+	} else {
+		batch = append(batch, batchReq{})
+	}
+	br := &batch[len(batch)-1]
+	if err := wire.DecodeRequest(&br.req, frame); err != nil {
+		s.badReqs.Add(1)
+		// A frame too mangled to carry an id gets id 0; the client will
+		// drop it but the stream stays framed.
+		out <- &wire.Response{ID: br.req.ID, Status: wire.StatusBadRequest, Err: err.Error()}
+		return frame, batch[:len(batch)-1]
+	}
+	switch br.req.Op {
+	case wire.OpRead, wire.OpUpdate:
+		br.shardI = s.m.ShardIndex(br.req.Key)
+	default:
+		br.shardI = -1
+	}
+	return frame, batch
+}
+
+// executeBatch runs a batch through one acquired handle: single-key
+// operations grouped by shard, everything else in arrival order.
+//
+// Grouping must not reorder operations whose effects could be observed
+// in issue order by the issuing client: two single-key ops on the same
+// shard keep their order under the stable sort, and every op that can
+// touch more than one shard (UpdateMulti, the snapshots) acts as a
+// barrier — only the runs of single-key ops *between* barriers are
+// shard-sorted. Without the barrier, an Update(k) pipelined before an
+// UpdateMulti([k,...]) would execute after it.
+//
+// Responses are collected locally and emitted only after the handle is
+// released: the out channel can fill when the peer stops reading its
+// responses, and blocking on it while holding a registry slot would let
+// one non-reading connection pin a process id that every other
+// connection (and in-process callers) may be waiting for.
+func (s *Server) executeBatch(batch []batchReq, out chan<- *wire.Response) {
+	if len(batch) == 0 {
+		return
+	}
+	s.batches.Add(1)
+	s.reqs.Add(uint64(len(batch)))
+	for lo := 0; lo < len(batch); {
+		if batch[lo].shardI < 0 {
+			lo++
+			continue
+		}
+		hi := lo + 1
+		for hi < len(batch) && batch[hi].shardI >= 0 {
+			hi++
+		}
+		run := batch[lo:hi]
+		sort.SliceStable(run, func(i, j int) bool { return run[i].shardI < run[j].shardI })
+		lo = hi
+	}
+	resps := make([]*wire.Response, 0, len(batch))
+	h := s.m.Acquire()
+	for i := range batch {
+		resps = append(resps, s.execute(h, &batch[i].req))
+	}
+	h.Release()
+	for _, resp := range resps {
+		out <- resp
+	}
+}
+
+// execute runs one request and returns its response.
+func (s *Server) execute(h *shard.MapHandle, req *wire.Request) *wire.Response {
+	resp := &wire.Response{ID: req.ID}
+	w := s.m.W()
+	switch req.Op {
+	case wire.OpPing:
+		// Empty OK response.
+
+	case wire.OpRead:
+		s.reads.Add(1)
+		resp.Rows, resp.Words = 1, uint32(w)
+		resp.Data = make([]uint64, w)
+		h.Read(req.Key, resp.Data)
+
+	case wire.OpUpdate:
+		s.updates.Add(1)
+		if len(req.Args) != w {
+			return s.fail(resp, "update args have %d words, map width is %d", len(req.Args), w)
+		}
+		if req.Mode > wire.ModeSet {
+			return s.fail(resp, "unknown update mode %d", req.Mode)
+		}
+		resp.Rows, resp.Words = 1, uint32(w)
+		resp.Data = make([]uint64, w)
+		args, mode, dst := req.Args, req.Mode, resp.Data
+		attempts := h.Update(req.Key, func(v []uint64) {
+			merge(v, args, mode)
+			copy(dst, v)
+		})
+		resp.Attempts = uint32(attempts)
+
+	case wire.OpSnapshot, wire.OpSnapshotAtomic:
+		s.snapshots.Add(1)
+		k := s.m.Shards()
+		// A K×W beyond one frame would be encoded and then kill the
+		// client connection at its MaxFrame check; refuse it with a
+		// clear error instead (llscd also refuses the geometry at
+		// startup).
+		if !SnapshotFits(k, w) {
+			return s.fail(resp, "snapshot of %d×%d words exceeds the %d-byte frame limit", k, w, wire.MaxFrame)
+		}
+		resp.Rows, resp.Words = uint32(k), uint32(w)
+		resp.Data = make([]uint64, k*w)
+		rows := make([][]uint64, k)
+		for i := range rows {
+			rows[i] = resp.Data[i*w : (i+1)*w]
+		}
+		if req.Op == wire.OpSnapshotAtomic {
+			resp.Attempts = uint32(h.SnapshotAtomic(rows))
+		} else {
+			h.Snapshot(rows)
+		}
+
+	case wire.OpUpdateMulti:
+		s.multis.Add(1)
+		nk := len(req.Keys)
+		if len(req.Args) != nk*w {
+			return s.fail(resp, "updatemulti args have %d words, want %d keys × width %d", len(req.Args), nk, w)
+		}
+		if req.Mode > wire.ModeSet {
+			return s.fail(resp, "unknown update mode %d", req.Mode)
+		}
+		resp.Rows, resp.Words = uint32(nk), uint32(w)
+		resp.Data = make([]uint64, nk*w)
+		args, mode, dst := req.Args, req.Mode, resp.Data
+		attempts := h.UpdateMulti(req.Keys, func(vals [][]uint64) {
+			for i, v := range vals {
+				merge(v, args[i*w:(i+1)*w], mode)
+				copy(dst[i*w:(i+1)*w], v)
+			}
+		})
+		resp.Attempts = uint32(attempts)
+
+	case wire.OpStats:
+		st := s.Stats()
+		resp.Data = st.Append(nil)
+		resp.Rows, resp.Words = 1, uint32(len(resp.Data))
+
+	default:
+		return s.fail(resp, "unknown opcode %d", uint8(req.Op))
+	}
+	return resp
+}
+
+// SnapshotFits reports whether a K×W snapshot response fits in one wire
+// frame — the only response whose size is set by server geometry rather
+// than by a (already frame-bounded) request.
+func SnapshotFits(k, w int) bool {
+	const respHeader = 9 + 12 // id+status, attempts+rows+words
+	return k*w <= (wire.MaxFrame-respHeader)/8
+}
+
+// fail marks resp as a StatusBadRequest response and returns it.
+func (s *Server) fail(resp *wire.Response, format string, args ...any) *wire.Response {
+	s.badReqs.Add(1)
+	resp.Status = wire.StatusBadRequest
+	resp.Err = fmt.Sprintf(format, args...)
+	resp.Rows, resp.Words, resp.Data = 0, 0, nil
+	return resp
+}
+
+// merge applies the request's word-merge mode; it runs inside the LL/SC
+// retry loop, so it is deterministic and side-effect free by
+// construction.
+func merge(v, args []uint64, mode wire.Mode) {
+	if mode == wire.ModeSet {
+		copy(v, args)
+		return
+	}
+	for i := range v {
+		v[i] += args[i]
+	}
+}

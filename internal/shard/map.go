@@ -264,13 +264,25 @@ func (h *MapHandle) Process() int { return h.p }
 // Release returns the process id to the registry. The handle must not be
 // used afterwards; releasing twice panics (a second release could
 // otherwise silently free an id that a different goroutine has since
-// re-acquired).
+// re-acquired), and so does any data operation on a released handle
+// (which would otherwise silently alias whichever goroutine has since
+// re-acquired the id — see live).
 func (h *MapHandle) Release() {
 	if h.released {
 		panic("shard: MapHandle released twice")
 	}
 	h.released = true
 	h.m.reg.Release(h.p)
+}
+
+// live panics on use-after-Release: a released id may already belong to
+// another goroutine, and two goroutines driving one process id void
+// every per-process guarantee in the construction. The check is one
+// branch on an unshared bool — noise next to the LL/SC work it guards.
+func (h *MapHandle) live() {
+	if h.released {
+		panic("shard: use of MapHandle after Release")
+	}
 }
 
 // Update atomically applies f to the shard owning key via the LL -> f ->
@@ -286,6 +298,7 @@ func (h *MapHandle) Release() {
 // this LL's link, so the subsequent SC here fails rather than landing on
 // a locked shard.
 func (h *MapHandle) Update(key uint64, f func(v []uint64)) int {
+	h.live()
 	if h.scratch == nil {
 		h.scratch = make([]uint64, h.m.w)
 	}
@@ -314,6 +327,7 @@ func (h *MapHandle) Update(key uint64, f func(v []uint64)) int {
 // helping protocol of internal/txn: a process stalled mid-commit never
 // blocks others.
 func (h *MapHandle) UpdateMulti(keys []uint64, f func(vals [][]uint64)) int {
+	h.live()
 	h.multi = h.multi[:0]
 	for _, key := range keys {
 		h.multi = append(h.multi, h.m.ShardIndex(key))
@@ -325,11 +339,13 @@ func (h *MapHandle) UpdateMulti(keys []uint64, f func(vals [][]uint64)) int {
 // must be W) — an atomic multiword read. Lock-free: it only retries while
 // a multi-key transaction is mid-commit on the shard (helping it finish).
 func (h *MapHandle) Read(key uint64, dst []uint64) {
+	h.live()
 	h.m.eng.Read(h.p, h.m.ShardIndex(key), dst)
 }
 
 // ReadShard copies shard i's current value into dst.
 func (h *MapHandle) ReadShard(i int, dst []uint64) {
+	h.live()
 	h.m.eng.Read(h.p, i, dst)
 }
 
@@ -343,6 +359,7 @@ func (h *MapHandle) ReadShard(i int, dst []uint64) {
 // need not have coexisted at one instant. When the rows must form one
 // consistent cut, use SnapshotAtomic and pay its retry/fallback cost.
 func (h *MapHandle) Snapshot(dst [][]uint64) {
+	h.live()
 	if len(dst) != h.m.k {
 		panic(fmt.Sprintf("shard: snapshot buffer has %d rows, want %d", len(dst), h.m.k))
 	}
@@ -367,6 +384,7 @@ func (h *MapHandle) Snapshot(dst [][]uint64) {
 // Lock-free, not wait-free: prefer Snapshot when per-shard atomicity is
 // enough.
 func (h *MapHandle) SnapshotAtomic(dst [][]uint64) int {
+	h.live()
 	if len(dst) != h.m.k {
 		panic(fmt.Sprintf("shard: snapshot buffer has %d rows, want %d", len(dst), h.m.k))
 	}

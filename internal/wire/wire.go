@@ -1,0 +1,405 @@
+// Package wire defines the compact binary protocol spoken between the
+// llscd server (internal/server) and its clients (internal/client): a
+// length-prefixed frame carrying one request or one response, with an
+// explicit request id so many requests can be in flight on one
+// connection at once (pipelining) and responses may return out of
+// order.
+//
+// Every data operation of the in-process map has a wire counterpart
+// with the same consistency contract — Update and UpdateMulti become
+// declarative (the server applies a per-word merge, Add or Set, instead
+// of a caller closure, since closures do not travel), Read, Snapshot
+// and SnapshotAtomic carry their per-key / per-shard-atomic /
+// cross-shard-linearizable guarantees unchanged, and Stats exposes the
+// server's counters.
+//
+// # Frame layout
+//
+// Everything is little-endian. A frame is
+//
+//	uint32 length | payload (length bytes)
+//
+// and a payload is
+//
+//	request:  uint64 id | uint8 op | op-specific body
+//	response: uint64 id | uint8 status | body
+//
+// Request bodies:
+//
+//	Ping           —
+//	Read           uint64 key
+//	Update         uint8 mode | uint64 key | W×uint64 args
+//	Snapshot       —
+//	SnapshotAtomic —
+//	UpdateMulti    uint8 mode | uint16 nkeys | nkeys×uint64 keys | (nkeys·W)×uint64 args
+//	Stats          —
+//
+// Response bodies:
+//
+//	status OK:  uint32 attempts | uint32 rows | uint32 words | (rows·words)×uint64 data
+//	status err: uint16 len | len bytes of message
+//
+// Rows×words is 1×W for Read/Update, nkeys×W for UpdateMulti, K×W for
+// the snapshots, 1×len for Stats (see ServerStats), and 0×0 for Ping.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Op identifies a request's operation.
+type Op uint8
+
+// Request opcodes.
+const (
+	OpPing Op = iota + 1
+	OpRead
+	OpUpdate
+	OpSnapshot
+	OpSnapshotAtomic
+	OpUpdateMulti
+	OpStats
+)
+
+// String returns the opcode mnemonic.
+func (o Op) String() string {
+	switch o {
+	case OpPing:
+		return "ping"
+	case OpRead:
+		return "read"
+	case OpUpdate:
+		return "update"
+	case OpSnapshot:
+		return "snapshot"
+	case OpSnapshotAtomic:
+		return "snapshotatomic"
+	case OpUpdateMulti:
+		return "updatemulti"
+	case OpStats:
+		return "stats"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Mode selects how Update/UpdateMulti merge the request's args into the
+// stored value, word by word.
+type Mode uint8
+
+const (
+	// ModeAdd adds each arg word to the stored word (wrapping) — the
+	// fetch-and-add family: counters, ledgers, accumulators.
+	ModeAdd Mode = iota
+	// ModeSet overwrites each stored word with the arg word.
+	ModeSet
+)
+
+// String returns the mode mnemonic.
+func (m Mode) String() string {
+	switch m {
+	case ModeAdd:
+		return "add"
+	case ModeSet:
+		return "set"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Status is the response's outcome code.
+type Status uint8
+
+// Response status codes.
+const (
+	StatusOK Status = iota
+	// StatusBadRequest: the request did not decode, used an unknown
+	// opcode, or had the wrong arg width for the server's W.
+	StatusBadRequest
+	// StatusShutdown: the server is draining; retry against another one.
+	StatusShutdown
+)
+
+// String returns the status mnemonic.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusBadRequest:
+		return "bad-request"
+	case StatusShutdown:
+		return "shutdown"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// MaxFrame bounds a frame's payload; both sides reject bigger frames
+// instead of allocating attacker-controlled amounts. Generous enough for
+// a snapshot of thousands of shards times a wide W.
+const MaxFrame = 8 << 20
+
+// MaxMultiKeys bounds the keys of one UpdateMulti (the uint16 nkeys
+// field caps it at 65535 anyway; this keeps worst-case descriptor work
+// sane and matches the transaction layer's sweet spot of small spans).
+const MaxMultiKeys = 1 << 12
+
+// Request is one decoded request frame.
+type Request struct {
+	ID   uint64
+	Op   Op
+	Mode Mode     // Update, UpdateMulti
+	Key  uint64   // Read, Update
+	Keys []uint64 // UpdateMulti (aliases decode buffer; copy to retain)
+	Args []uint64 // Update: W words; UpdateMulti: len(Keys)·W words
+}
+
+// Response is one decoded response frame.
+type Response struct {
+	ID       uint64
+	Status   Status
+	Attempts uint32 // LL/SC attempts or txn attempts; 0 when n/a
+	Rows     uint32 // data shape: Rows rows of Words words
+	Words    uint32
+	Data     []uint64 // aliases decode buffer; copy to retain
+	Err      string   // set iff Status != StatusOK
+}
+
+// Row returns row i of the response data.
+func (r *Response) Row(i int) []uint64 {
+	w := int(r.Words)
+	return r.Data[i*w : (i+1)*w]
+}
+
+// AppendRequest appends req's payload (without the frame length) to dst.
+func AppendRequest(dst []byte, req *Request) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, req.ID)
+	dst = append(dst, byte(req.Op))
+	switch req.Op {
+	case OpRead:
+		dst = binary.LittleEndian.AppendUint64(dst, req.Key)
+	case OpUpdate:
+		dst = append(dst, byte(req.Mode))
+		dst = binary.LittleEndian.AppendUint64(dst, req.Key)
+		for _, a := range req.Args {
+			dst = binary.LittleEndian.AppendUint64(dst, a)
+		}
+	case OpUpdateMulti:
+		dst = append(dst, byte(req.Mode))
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(req.Keys)))
+		for _, k := range req.Keys {
+			dst = binary.LittleEndian.AppendUint64(dst, k)
+		}
+		for _, a := range req.Args {
+			dst = binary.LittleEndian.AppendUint64(dst, a)
+		}
+	}
+	return dst
+}
+
+// DecodeRequest decodes a request payload into req, reusing req's Keys
+// and Args backing arrays when they are large enough.
+func DecodeRequest(req *Request, payload []byte) error {
+	if len(payload) < 9 {
+		return fmt.Errorf("wire: request payload %d bytes, need >= 9", len(payload))
+	}
+	req.ID = binary.LittleEndian.Uint64(payload)
+	req.Op = Op(payload[8])
+	body := payload[9:]
+	req.Mode, req.Key = 0, 0
+	req.Keys, req.Args = req.Keys[:0], req.Args[:0]
+	switch req.Op {
+	case OpPing, OpSnapshot, OpSnapshotAtomic, OpStats:
+		if len(body) != 0 {
+			return fmt.Errorf("wire: %v request carries %d unexpected body bytes", req.Op, len(body))
+		}
+	case OpRead:
+		if len(body) != 8 {
+			return fmt.Errorf("wire: read request body %d bytes, want 8", len(body))
+		}
+		req.Key = binary.LittleEndian.Uint64(body)
+	case OpUpdate:
+		if len(body) < 9 || (len(body)-9)%8 != 0 {
+			return fmt.Errorf("wire: update request body %d bytes, want 9+8·w", len(body))
+		}
+		req.Mode = Mode(body[0])
+		req.Key = binary.LittleEndian.Uint64(body[1:])
+		req.Args = appendWords(req.Args, body[9:])
+	case OpUpdateMulti:
+		if len(body) < 3 {
+			return fmt.Errorf("wire: updatemulti request body %d bytes, want >= 3", len(body))
+		}
+		req.Mode = Mode(body[0])
+		nkeys := int(binary.LittleEndian.Uint16(body[1:]))
+		if nkeys == 0 || nkeys > MaxMultiKeys {
+			return fmt.Errorf("wire: updatemulti with %d keys, want 1..%d", nkeys, MaxMultiKeys)
+		}
+		rest := body[3:]
+		if len(rest) < nkeys*8 || (len(rest)-nkeys*8)%8 != 0 {
+			return fmt.Errorf("wire: updatemulti body %d bytes does not fit %d keys + args", len(body), nkeys)
+		}
+		req.Keys = appendWords(req.Keys, rest[:nkeys*8])
+		req.Args = appendWords(req.Args, rest[nkeys*8:])
+		if len(req.Args)%nkeys != 0 {
+			return fmt.Errorf("wire: updatemulti args %d words not a multiple of %d keys", len(req.Args), nkeys)
+		}
+	default:
+		return fmt.Errorf("wire: unknown opcode %d", uint8(req.Op))
+	}
+	return nil
+}
+
+// AppendResponse appends resp's payload (without the frame length) to dst.
+func AppendResponse(dst []byte, resp *Response) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, resp.ID)
+	dst = append(dst, byte(resp.Status))
+	if resp.Status != StatusOK {
+		msg := resp.Err
+		if len(msg) > 1<<15 {
+			msg = msg[:1<<15]
+		}
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(msg)))
+		return append(dst, msg...)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, resp.Attempts)
+	dst = binary.LittleEndian.AppendUint32(dst, resp.Rows)
+	dst = binary.LittleEndian.AppendUint32(dst, resp.Words)
+	for _, d := range resp.Data {
+		dst = binary.LittleEndian.AppendUint64(dst, d)
+	}
+	return dst
+}
+
+// DecodeResponse decodes a response payload into resp, reusing resp's
+// Data backing array when it is large enough.
+func DecodeResponse(resp *Response, payload []byte) error {
+	if len(payload) < 9 {
+		return fmt.Errorf("wire: response payload %d bytes, need >= 9", len(payload))
+	}
+	resp.ID = binary.LittleEndian.Uint64(payload)
+	resp.Status = Status(payload[8])
+	body := payload[9:]
+	resp.Attempts, resp.Rows, resp.Words = 0, 0, 0
+	resp.Data, resp.Err = resp.Data[:0], ""
+	if resp.Status != StatusOK {
+		if len(body) < 2 {
+			return fmt.Errorf("wire: error response body %d bytes, want >= 2", len(body))
+		}
+		n := int(binary.LittleEndian.Uint16(body))
+		if len(body) != 2+n {
+			return fmt.Errorf("wire: error response message %d bytes, frame carries %d", n, len(body)-2)
+		}
+		resp.Err = string(body[2 : 2+n])
+		return nil
+	}
+	if len(body) < 12 {
+		return fmt.Errorf("wire: ok response body %d bytes, want >= 12", len(body))
+	}
+	resp.Attempts = binary.LittleEndian.Uint32(body)
+	resp.Rows = binary.LittleEndian.Uint32(body[4:])
+	resp.Words = binary.LittleEndian.Uint32(body[8:])
+	data := body[12:]
+	want := uint64(resp.Rows) * uint64(resp.Words) * 8
+	if uint64(len(data)) != want {
+		return fmt.Errorf("wire: response data %d bytes, header promises %d", len(data), want)
+	}
+	resp.Data = appendWords(resp.Data, data)
+	return nil
+}
+
+// appendWords appends b (a multiple of 8 bytes) to dst as little-endian
+// uint64s.
+func appendWords(dst []uint64, b []byte) []uint64 {
+	for ; len(b) >= 8; b = b[8:] {
+		dst = append(dst, binary.LittleEndian.Uint64(b))
+	}
+	return dst
+}
+
+// WriteFrame writes one length-prefixed frame carrying payload.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame payload %d bytes exceeds MaxFrame %d", len(payload), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// AppendFrame appends the length prefix and payload to dst — for callers
+// that coalesce several frames into one Write.
+func AppendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...)
+}
+
+// ReadFrame reads one frame into buf (growing it as needed) and returns
+// the payload (a prefix of the returned buffer).
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return buf, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return buf, fmt.Errorf("wire: incoming frame of %d bytes exceeds MaxFrame %d", n, MaxFrame)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return buf, fmt.Errorf("wire: short frame: %w", err)
+	}
+	return buf, nil
+}
+
+// ServerStats is the counter snapshot a Stats request returns, carried
+// on the wire as one row of uint64 words in field order. Decoding
+// tolerates a longer row (a newer server may append fields), so old
+// clients keep working against new servers.
+type ServerStats struct {
+	Shards     uint64 // map geometry: K
+	Slots      uint64 // map geometry: N (registry slots)
+	Words      uint64 // map geometry: W
+	ConnsTotal uint64 // connections accepted since start
+	ConnsOpen  uint64 // connections currently open
+	Reqs       uint64 // requests executed, all ops
+	Updates    uint64
+	Reads      uint64
+	Snapshots  uint64 // Snapshot + SnapshotAtomic
+	Multis     uint64 // UpdateMulti
+	Batches    uint64 // handle-acquire batches executed
+	BadReqs    uint64 // requests rejected with a non-OK status
+}
+
+// statsWords is the wire width of ServerStats.
+const statsWords = 12
+
+// Append encodes s in field order.
+func (s *ServerStats) Append(dst []uint64) []uint64 {
+	return append(dst,
+		s.Shards, s.Slots, s.Words,
+		s.ConnsTotal, s.ConnsOpen,
+		s.Reqs, s.Updates, s.Reads, s.Snapshots, s.Multis,
+		s.Batches, s.BadReqs)
+}
+
+// DecodeStats decodes a stats row previously produced by Append.
+func DecodeStats(row []uint64) (ServerStats, error) {
+	if len(row) < statsWords {
+		return ServerStats{}, fmt.Errorf("wire: stats row has %d words, want >= %d", len(row), statsWords)
+	}
+	return ServerStats{
+		Shards: row[0], Slots: row[1], Words: row[2],
+		ConnsTotal: row[3], ConnsOpen: row[4],
+		Reqs: row[5], Updates: row[6], Reads: row[7], Snapshots: row[8], Multis: row[9],
+		Batches: row[10], BadReqs: row[11],
+	}, nil
+}

@@ -1,0 +1,40 @@
+package mwllsc
+
+import (
+	"mwllsc/internal/server"
+)
+
+// Server serves a Sharded map over TCP with the llscd wire protocol —
+// the embeddable form of cmd/llscd, for processes that want to own the
+// map (and keep using it in-process) while also serving remote
+// clients. The map is shared safely: local handles and remote traffic
+// go through the same registry and see the same linearizable history.
+type Server = server.Server
+
+// ServerOption configures NewServer.
+type ServerOption = server.Option
+
+// ErrServerClosed is what Server.Serve returns after a clean Close.
+var ErrServerClosed = server.ErrClosed
+
+// NewServer creates a serving layer over m; call Listen and Serve (or
+// ListenAndServe) to accept clients, Close for a graceful drain.
+//
+//	m, _ := mwllsc.NewSharded(16, 16, 2)
+//	s := mwllsc.NewServer(m)
+//	go s.ListenAndServe("127.0.0.1:7787")
+//	...
+//	s.Close()
+func NewServer(m *Sharded, opts ...ServerOption) *Server {
+	return server.New(m, opts...)
+}
+
+// WithServerMaxBatch caps how many pipelined requests the server
+// executes per registry acquisition (default 64).
+func WithServerMaxBatch(n int) ServerOption { return server.WithMaxBatch(n) }
+
+// WithServerLogf installs a logger for per-connection errors (default:
+// dropped).
+func WithServerLogf(logf func(format string, args ...any)) ServerOption {
+	return server.WithLogf(logf)
+}
