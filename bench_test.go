@@ -1,6 +1,6 @@
-// Benchmarks regenerating the experiment index E1-E7 (DESIGN.md §5) as
-// testing.B targets. One Benchmark family per experiment; cmd/llscbench
-// produces the corresponding full tables. Run:
+// Benchmarks regenerating the core experiment index E1-E7 (see
+// docs/BENCHMARKS.md) as testing.B targets. One Benchmark family per
+// experiment; cmd/llscbench produces the corresponding full tables. Run:
 //
 //	go test -bench=. -benchmem
 package mwllsc_test

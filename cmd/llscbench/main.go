@@ -1,19 +1,21 @@
-// Command llscbench regenerates the experiment tables E1-E11: the
-// empirical counterparts of the paper's Theorem 1 claims (E1-E7,
-// DESIGN.md), the scaling experiments for the sharded map and handle
-// registry (E8-E9), the cross-shard transaction experiment (E10), and
-// the networked serving-layer load experiment (E11; cmd/llscload is its
-// standalone load generator).
+// Command llscbench regenerates the experiment tables E1-E12: the
+// empirical counterparts of the paper's Theorem 1 claims (E1-E7), the
+// scaling experiments for the sharded map and handle registry (E8-E9),
+// the cross-shard transaction experiment (E10), the networked
+// serving-layer load experiment (E11; cmd/llscload is its standalone
+// load generator), and the durability-cost experiment across fsync
+// policies (E12). docs/BENCHMARKS.md documents the methodology and the
+// full catalog.
 //
 // Usage:
 //
 //	llscbench [-e e1,e3] [-impls jp,amstyle] [-dur 200ms] [-iters 50000] [-csv] [-json out.json]
 //
 // With no -e flag every experiment runs. Results print as plain-text
-// tables; EXPERIMENTS.md records a reference run with commentary. With
-// -json PATH the run is also written as a machine-readable Report
-// (internal/bench.Report) for archiving the BENCH_*.json perf trajectory;
-// PATH "-" writes JSON to stdout and suppresses the text tables.
+// tables. With -json PATH the run is also written as a machine-readable
+// Report (internal/bench.Report) for archiving the BENCH_*.json perf
+// trajectory; PATH "-" writes JSON to stdout and suppresses the text
+// tables.
 package main
 
 import (
@@ -34,7 +36,7 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("llscbench", flag.ContinueOnError)
 	var (
-		exps     = fs.String("e", "", "comma-separated experiments to run (e1..e11); empty = all")
+		exps     = fs.String("e", "", "comma-separated experiments to run (e1..e12); empty = all")
 		implList = fs.String("impls", "", "comma-separated implementations (default: all of "+strings.Join(impls.Names(), ",")+")")
 		dur      = fs.Duration("dur", 150*time.Millisecond, "measurement window per throughput point")
 		iters    = fs.Int("iters", 30000, "iterations per latency point")
@@ -65,6 +67,7 @@ func run(args []string) int {
 		{"e9", bench.E9Registry},
 		{"e10", bench.E10Transactions},
 		{"e11", bench.E11NetServing},
+		{"e12", bench.E12Durability},
 	}
 
 	want := map[string]bool{}

@@ -51,6 +51,12 @@ func TestRunServingExperiment(t *testing.T) {
 	}
 }
 
+func TestRunDurabilityExperiment(t *testing.T) {
+	if code := run([]string{"-e", "e12", "-dur", "5ms"}); code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+}
+
 func TestRunJSONReport(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	if code := run([]string{"-e", "e7,e9", "-dur", "5ms", "-iters", "200", "-impls", "jp", "-json", path}); code != 0 {
@@ -66,6 +72,10 @@ func TestRunJSONReport(t *testing.T) {
 	}
 	if report.Tool != "llscbench" || report.GoVersion == "" {
 		t.Fatalf("report header incomplete: %+v", report)
+	}
+	if report.GOMAXPROCS <= 0 || report.NumCPU <= 0 {
+		t.Fatalf("report is missing the environment stamp (gomaxprocs=%d num_cpu=%d)",
+			report.GOMAXPROCS, report.NumCPU)
 	}
 	if len(report.Experiments) != 2 {
 		t.Fatalf("%d experiments in report, want 2", len(report.Experiments))

@@ -9,11 +9,21 @@
 //
 //	llscd [-addr 127.0.0.1:7787] [-shards 16] [-slots 16] [-words 2]
 //	      [-impl jp] [-maxbatch 64] [-stats 0] [-v]
+//	      [-dir ""] [-fsync everysec] [-checkpoint-interval 1m]
+//
+// With -dir the daemon is durable: committed updates are appended to
+// per-shard logs in that directory (fsynced per -fsync: none, everysec
+// or always), checkpoints are taken every -checkpoint-interval, and
+// startup recovers the previous state from checkpoint plus logs. The
+// geometry flags (-shards, -words) must match the directory's; see
+// docs/OPERATIONS.md for the per-policy durability contract. Without
+// -dir the map is purely in-memory, as before.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: it stops
-// accepting, closes open connections, and waits for the per-connection
-// goroutines to drain. With -stats D it prints one counters line every
-// D (expvar-style: cumulative totals, not rates).
+// accepting, closes open connections, waits for the per-connection
+// goroutines to drain, and (with -dir) writes a final checkpoint. With
+// -stats D it prints one counters line every D (expvar-style:
+// cumulative totals, not rates).
 package main
 
 import (
@@ -27,6 +37,7 @@ import (
 	"time"
 
 	"mwllsc/internal/impls"
+	"mwllsc/internal/persist"
 	"mwllsc/internal/server"
 )
 
@@ -48,6 +59,9 @@ func run(args []string, stop <-chan os.Signal, stdout, stderr io.Writer) int {
 		maxBatch = fs.Int("maxbatch", 64, "max pipelined requests executed per registry acquisition")
 		statsDur = fs.Duration("stats", 0, "print a cumulative stats line this often (0 = never)")
 		verbose  = fs.Bool("v", false, "log per-connection errors")
+		dir      = fs.String("dir", "", "data directory for the durability layer (empty = in-memory only)")
+		fsyncStr = fs.String("fsync", "everysec", "log fsync policy: none, everysec or always")
+		ckptDur  = fs.Duration("checkpoint-interval", time.Minute, "time between checkpoints (0 = only at shutdown)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -68,14 +82,36 @@ func run(args []string, stop <-chan os.Signal, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, format+"\n", a...)
 		}))
 	}
+	var st *persist.Store
+	if *dir != "" {
+		policy, err := persist.ParsePolicy(*fsyncStr)
+		if err != nil {
+			fmt.Fprintf(stderr, "llscd: %v\n", err)
+			return 2
+		}
+		var rec persist.Recovery
+		st, rec, err = persist.Open(*dir, m, persist.Options{Policy: policy})
+		if err != nil {
+			fmt.Fprintf(stderr, "llscd: %v\n", err)
+			return 1
+		}
+		defer st.Close()
+		fmt.Fprintf(stdout, "llscd: recovered %s: checkpoint=%v replayed=%d skipped=%d repaired=%d segments=%d next-seq=%d\n",
+			*dir, rec.Checkpoint, rec.Replayed, rec.Skipped, rec.Repaired, rec.Segments, rec.NextSeq)
+		opts = append(opts, server.WithPersist(st))
+	}
 	s := server.New(m, opts...)
 	bound, err := s.Listen(*addr)
 	if err != nil {
 		fmt.Fprintf(stderr, "llscd: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "llscd: serving K=%d shards × W=%d words (N=%d slots, impl=%s, maxbatch=%d) on %s\n",
-		*shards, *words, *slots, *impl, *maxBatch, bound)
+	durable := "in-memory"
+	if st != nil {
+		durable = "dir=" + *dir + " fsync=" + st.Policy().String()
+	}
+	fmt.Fprintf(stdout, "llscd: serving K=%d shards × W=%d words (N=%d slots, impl=%s, maxbatch=%d, %s) on %s\n",
+		*shards, *words, *slots, *impl, *maxBatch, durable, bound)
 
 	served := make(chan error, 1)
 	go func() { served <- s.Serve() }()
@@ -87,13 +123,31 @@ func run(args []string, stop <-chan os.Signal, stdout, stderr io.Writer) int {
 		tick = ticker.C
 		defer ticker.Stop()
 	}
+	var ckptTicker *time.Ticker
+	var ckptTick <-chan time.Time
+	if st != nil && *ckptDur > 0 {
+		ckptTicker = time.NewTicker(*ckptDur)
+		ckptTick = ckptTicker.C
+		defer ckptTicker.Stop()
+	}
 	for {
 		select {
 		case <-tick:
-			st := s.Stats()
+			sv := s.Stats()
 			fmt.Fprintf(stdout, "llscd: conns=%d/%d reqs=%d upd=%d read=%d snap=%d multi=%d batches=%d avgbatch=%.1f badreq=%d\n",
-				st.ConnsOpen, st.ConnsTotal, st.Reqs, st.Updates, st.Reads, st.Snapshots, st.Multis,
-				st.Batches, avg(st.Reqs, st.Batches), st.BadReqs)
+				sv.ConnsOpen, sv.ConnsTotal, sv.Reqs, sv.Updates, sv.Reads, sv.Snapshots, sv.Multis,
+				sv.Batches, avg(sv.Reqs, sv.Batches), sv.BadReqs)
+			if st != nil {
+				ps := st.Stats()
+				fmt.Fprintf(stdout, "llscd: persist records=%d bytes=%d syncs=%d ckpts=%d seq=%d\n",
+					ps.Records, ps.Bytes, ps.Syncs, ps.Checkpoints, ps.Seq)
+			}
+		case <-ckptTick:
+			if err := s.Checkpoint(); err != nil {
+				fmt.Fprintf(stderr, "llscd: checkpoint: %v\n", err)
+			} else if *verbose {
+				fmt.Fprintf(stdout, "llscd: checkpoint written\n")
+			}
 		case <-stop:
 			fmt.Fprintf(stdout, "llscd: shutting down\n")
 			if err := s.Close(); err != nil {
@@ -101,8 +155,16 @@ func run(args []string, stop <-chan os.Signal, stdout, stderr io.Writer) int {
 				return 1
 			}
 			<-served
-			st := s.Stats()
-			fmt.Fprintf(stdout, "llscd: served %d requests over %d connections\n", st.Reqs, st.ConnsTotal)
+			if st != nil {
+				// All connections have drained; one final checkpoint
+				// makes the next startup instant (empty logs).
+				if err := s.Checkpoint(); err != nil {
+					fmt.Fprintf(stderr, "llscd: final checkpoint: %v\n", err)
+					return 1
+				}
+			}
+			sv := s.Stats()
+			fmt.Fprintf(stdout, "llscd: served %d requests over %d connections\n", sv.Reqs, sv.ConnsTotal)
 			return 0
 		case err := <-served:
 			if err == server.ErrClosed {

@@ -121,7 +121,36 @@
 // the map used locally at the same time — both sides share one registry
 // and one linearizable history. The E11 experiment (cmd/llscbench -e
 // e11, standalone cmd/llscload) measures throughput and p50/p99 latency
-// over loopback vs connection count and pipelining depth.
+// over loopback vs connection count and pipelining depth. The wire
+// protocol is specified in docs/WIRE.md.
+//
+// # Durability
+//
+// Run cmd/llscd with -dir and the map survives restarts: every
+// committed remote update is appended to a per-shard append-only log
+// (internal/persist) after it commits in memory and before its response
+// is flushed, and startup recovers the latest checkpoint plus a
+// commit-ordered log replay. Because remote updates are declarative
+// (Add/Set merges — closures never enter the log), records are
+// replayable by construction; a commit sequence number captured inside
+// each update's merge callback preserves same-shard commit order
+// without adding any synchronization to the lock-free hot path.
+//
+// The durability contract is set by -fsync. Under "always" a response
+// is withheld until a group-commit fsync covers its record, so no
+// acknowledged write is ever lost — not even to SIGKILL or power loss;
+// "everysec" bounds machine-crash loss to about a second; "none" leaves
+// flushing to the OS. Under every policy a *process* crash loses no
+// acknowledged write, recovery repairs torn log tails (truncate at the
+// first CRC failure) and never invents writes, and the recovered map is
+// a state the live map actually passed through — per-key
+// linearizability and cross-shard transaction atomicity carry over to
+// what a restart observes. Checkpoints are cross-shard-atomic
+// (SnapshotAtomic through an identity transaction) with a sequence
+// watermark, rewritten atomically, and safe against a crash at any
+// step. Operational details — flags, per-policy guarantees, sizing,
+// disaster recovery — live in docs/OPERATIONS.md; the E12 experiment
+// (cmd/llscbench -e e12) prices the fsync-policy spectrum.
 //
 // # Substrates
 //
@@ -129,6 +158,6 @@
 // library offers two equivalent realizations: SubstrateTagged (default;
 // value+unique-tag packed in one word, zero allocation, astronomically
 // bounded tag space) and SubstratePtr (pointer-to-immutable-cell, exact and
-// unbounded, one small allocation per mutation). See DESIGN.md for the
-// trade-off and the E5 ablation.
+// unbounded, one small allocation per mutation). The E5 experiment
+// (cmd/llscbench -e e5) quantifies the trade-off.
 package mwllsc

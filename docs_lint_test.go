@@ -1,0 +1,55 @@
+package mwllsc_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// TestExportedSymbolsDocumented is the docs lint CI runs: every exported
+// declaration in the public API files must carry a doc comment, so the
+// godoc surface can't silently rot as layers are added.
+func TestExportedSymbolsDocumented(t *testing.T) {
+	files := []string{"client.go", "server.go", "sharded.go", "mwllsc.go", "doc.go"}
+	fset := token.NewFileSet()
+	for _, file := range files {
+		f, err := parser.ParseFile(fset, file, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc.Text() == "" {
+					t.Errorf("%s: exported %s %s has no doc comment",
+						file, kindOf(d), d.Name.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if sp.Name.IsExported() && d.Doc.Text() == "" && sp.Doc.Text() == "" {
+							t.Errorf("%s: exported type %s has no doc comment", file, sp.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, name := range sp.Names {
+							if name.IsExported() && d.Doc.Text() == "" && sp.Doc.Text() == "" && sp.Comment.Text() == "" {
+								t.Errorf("%s: exported %s %s has no doc comment",
+									file, d.Tok, name.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// kindOf distinguishes methods from functions in lint messages.
+func kindOf(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "func"
+}

@@ -14,7 +14,8 @@ import (
 // (Anderson & Moir 1995) that the paper's O(NW) construction improves on.
 // It is labeled "AM-style" rather than "Anderson-Moir" because it is built
 // from the complexity description in the paper's §1 (the AM'95 text is not
-// available offline); see DESIGN.md §4.
+// available offline), so it matches the claimed bounds, not the original
+// construction's internals.
 //
 // Construction:
 //

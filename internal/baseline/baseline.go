@@ -4,7 +4,7 @@
 //   - AMStyle: a wait-free, O(W)-time construction with Θ(N²W) space —
 //     the complexity profile of the previous best algorithm (Anderson &
 //     Moir 1995) that the paper improves on by a factor of N. See the
-//     type's documentation and DESIGN.md §4 for the fidelity note.
+//     type's documentation for the fidelity note.
 //   - GCPtr: what an idiomatic Go programmer would write — CAS on a
 //     pointer to an immutable value slice. Wait-free and O(W), but it
 //     allocates on every SC and leans on the garbage collector for its

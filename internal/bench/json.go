@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"io"
+	"os"
 	"runtime"
 )
 
@@ -12,12 +13,16 @@ import (
 type Report struct {
 	// Tool identifies the producer ("llscbench").
 	Tool string `json:"tool"`
-	// GoVersion and GOMAXPROCS pin down enough of the environment to
-	// compare runs honestly.
+	// GoVersion, GOMAXPROCS, NumCPU and Hostname pin down enough of the
+	// environment to compare runs honestly: BENCH_baseline.json was
+	// recorded at GOMAXPROCS=1, which is invisible without this stamp
+	// and makes its absolute numbers incomparable to parallel runs.
 	GoVersion  string `json:"go_version"`
 	GOOS       string `json:"goos"`
 	GOARCH     string `json:"goarch"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Hostname   string `json:"hostname,omitempty"`
 	// Experiments holds one entry per table, in run order.
 	Experiments []TableJSON `json:"experiments"`
 }
@@ -62,12 +67,15 @@ func (t *Table) JSON() TableJSON {
 // NewReport assembles a Report from finished tables, stamping the
 // environment.
 func NewReport(tables []*Table) *Report {
+	host, _ := os.Hostname() // best-effort; omitted from the JSON on error
 	r := &Report{
 		Tool:       "llscbench",
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Hostname:   host,
 	}
 	for _, t := range tables {
 		r.Experiments = append(r.Experiments, t.JSON())

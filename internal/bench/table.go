@@ -1,8 +1,8 @@
 // Package bench is the shared benchmark harness behind cmd/llscbench,
 // cmd/llscspace and the root bench_test.go: workload generators, latency
 // and throughput measurement, space accounting, and table rendering
-// (text, CSV, and JSON reports) for the experiments E1-E7 indexed in
-// DESIGN.md plus the sharding/registry experiments E8-E9.
+// (text, CSV, and JSON reports) for the experiments E1-E12 cataloged in
+// docs/BENCHMARKS.md.
 package bench
 
 import (

@@ -13,8 +13,8 @@ import (
 // backend silently falls back to the pointer substrate for words that no
 // longer fit. Only a handful of process ids are actually driven; the
 // object must still be correct. (Per-(process,word) link contexts make
-// much larger N memory-heavy — that O(N²) substrate term is discussed in
-// DESIGN.md §6.)
+// much larger N memory-heavy — an O(N²) substrate term on top of the
+// paper's O(NW).)
 func TestHugeProcessCount(t *testing.T) {
 	const (
 		n       = 1200

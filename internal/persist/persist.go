@@ -1,0 +1,235 @@
+// Package persist is the durability layer under the serving stack: a
+// Redis-AOF-style per-shard append-only log of committed declarative
+// updates plus periodic checkpoints, so an llscd restart — graceful or
+// SIGKILL — recovers the map instead of losing every word.
+//
+// # What is logged
+//
+// Only the wire layer's declarative word-merge updates (Add/Set, single
+// or multi key) are durable; they are replayable by construction —
+// closures never enter the log. Each record is the wire encoding of the
+// original request (wire.AppendRequest) with the request id field
+// carrying a commit sequence number instead, framed as
+//
+//	uint32 length | uint32 crc32c(payload) | payload
+//
+// in the log file of the owning shard (a multi-key record goes to the
+// log of its lowest target shard; recovery reads every log, so the
+// choice only spreads append traffic).
+//
+// # Commit ordering without touching the lock-free hot path
+//
+// Appends happen after the in-memory commit, outside the registry slot,
+// so two connections' records can reach the files in an order different
+// from their commit order. Replay must still apply same-shard updates in
+// commit order (Set does not commute). The sequence number restores it:
+// the server captures Seq inside the update's merge callback — the
+// committed attempt's callback run is always the last one for that
+// record, and on one shard it happens strictly between that update's
+// link and its successful store-conditional. Two committed updates on
+// the same shard therefore carry sequence numbers in their commit
+// order, whatever order their records land in the files, and recovery
+// sorts by Seq before replaying. The cost on the hot path is one atomic
+// counter increment per merge attempt; the LL/SC protocol itself is
+// untouched.
+//
+// # Checkpoints and the watermark
+//
+// A checkpoint must know exactly which logged records its snapshot
+// already contains. Store.Checkpoint first rotates every shard log to a
+// fresh segment generation, then asks the caller (the server) to run an
+// identity transaction over all shards — a cross-shard atomic
+// UpdateMulti whose callback changes nothing but captures one more
+// sequence number S and copies the values out. Because that transaction
+// conflicts with every shard, S is a total watermark: on every shard,
+// exactly the updates with Seq < S are in the snapshot and those with
+// Seq > S are not. The snapshot (geometry, S, K×W values, CRC) is
+// written to checkpoint.tmp, fsynced, renamed over checkpoint, and only
+// then are the pre-rotation segments deleted. A crash at any point
+// leaves either the old checkpoint with all segments or the new one
+// with the new segments — recovery replays only records with Seq > S,
+// so nothing is lost or double-applied either way.
+//
+// # Recovery
+//
+// Open loads the checkpoint if present (validating magic, version,
+// geometry and CRC), reads every shard-*.log segment, truncates each at
+// the first framing or CRC failure (a torn tail from a crash mid-append,
+// repaired Redis-AOF-style), sorts the surviving records by Seq, drops
+// those at or below the watermark, and replays the rest through the
+// map's own Update/UpdateMulti. The sequence counter resumes above
+// everything seen, and appends continue into a fresh segment
+// generation.
+//
+// # Fsync policies
+//
+// SyncNone never fsyncs (the OS decides; fastest, weakest), SyncEverySec
+// fsyncs dirty logs on a ticker (bounded loss window), SyncAlways makes
+// the server hold each batch's responses until a group-commit round has
+// fsynced its records — many concurrent batches share one fsync, which
+// is what keeps the policy affordable. The exact contract per policy is
+// documented in docs/OPERATIONS.md.
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"mwllsc/internal/wire"
+)
+
+// Policy selects when the append-only log is fsynced.
+type Policy int
+
+const (
+	// SyncNone never fsyncs: writes reach the OS page cache and the
+	// kernel flushes them on its own schedule. A machine crash can lose
+	// everything since the last checkpoint; a process crash loses
+	// nothing (the writes are already in the kernel).
+	SyncNone Policy = iota
+	// SyncEverySec fsyncs dirty logs about once per second from a
+	// background goroutine. A machine crash loses at most the last
+	// interval of acknowledged writes.
+	SyncEverySec
+	// SyncAlways fsyncs before a write is acknowledged: the server
+	// holds a batch's responses until a group-commit round covers its
+	// records. No acknowledged write is ever lost.
+	SyncAlways
+)
+
+// String returns the policy's flag spelling.
+func (p Policy) String() string {
+	switch p {
+	case SyncNone:
+		return "none"
+	case SyncEverySec:
+		return "everysec"
+	case SyncAlways:
+		return "always"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy parses the -fsync flag spelling.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "none":
+		return SyncNone, nil
+	case "everysec":
+		return SyncEverySec, nil
+	case "always":
+		return SyncAlways, nil
+	default:
+		return 0, fmt.Errorf("persist: unknown fsync policy %q (want none, everysec or always)", s)
+	}
+}
+
+// Options configures Open.
+type Options struct {
+	// Policy is the fsync policy (default SyncNone).
+	Policy Policy
+	// Interval overrides SyncEverySec's period (default 1s); tests use
+	// short intervals.
+	Interval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = time.Second
+	}
+	return o
+}
+
+// Record is one durable update: the declarative form of a committed
+// Update (one key) or UpdateMulti (cross-shard transaction), stamped
+// with the commit sequence number captured inside its merge callback.
+type Record struct {
+	// Seq orders same-shard records by commit; unique across the store.
+	Seq uint64
+	// Op is wire.OpUpdate or wire.OpUpdateMulti.
+	Op wire.Op
+	// Mode is the word-merge mode (wire.ModeAdd or wire.ModeSet).
+	Mode wire.Mode
+	// Key is the target key (OpUpdate).
+	Key uint64
+	// Keys are the target keys (OpUpdateMulti).
+	Keys []uint64
+	// Args are the merge arguments: W words (OpUpdate) or len(Keys)×W
+	// words (OpUpdateMulti).
+	Args []uint64
+	// Shard routes the record to a log file: the owning shard for
+	// OpUpdate, the lowest target shard for OpUpdateMulti. Recovery
+	// reads every log, so routing affects only append parallelism.
+	Shard int
+}
+
+// castagnoli is the CRC-32C table used for record and checkpoint
+// integrity (the polynomial with hardware support on current CPUs).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// recHeader is the per-record frame header: uint32 payload length plus
+// uint32 CRC-32C of the payload.
+const recHeader = 8
+
+// appendRecord appends r's framed encoding to dst. The payload reuses
+// the wire request encoding with the id field carrying Seq.
+func appendRecord(dst []byte, r *Record) []byte {
+	req := wire.Request{ID: r.Seq, Op: r.Op, Mode: r.Mode, Key: r.Key, Keys: r.Keys, Args: r.Args}
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // length + crc, patched below
+	dst = wire.AppendRequest(dst, &req)
+	payload := dst[start+recHeader:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(payload, castagnoli))
+	return dst
+}
+
+// parseRecords decodes the records of one segment. It returns the
+// records that parse cleanly and the byte offset of the first framing or
+// CRC failure (== len(data) when the whole segment is clean); everything
+// from that offset on is a torn or corrupt tail the caller truncates.
+// A record that passes its CRC but does not match the map's geometry is
+// not corruption — it means the operator changed -words — and is
+// returned as an error instead of being silently dropped.
+func parseRecords(data []byte, w int) (recs []Record, goodLen int, err error) {
+	off := 0
+	for {
+		if len(data)-off < recHeader {
+			return recs, off, nil // clean end, or a torn header
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if n < 9 || n > wire.MaxFrame || len(data)-off-recHeader < n {
+			return recs, off, nil // impossible length or torn payload
+		}
+		payload := data[off+recHeader : off+recHeader+n]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return recs, off, nil // corrupt payload
+		}
+		var req wire.Request
+		if err := wire.DecodeRequest(&req, payload); err != nil {
+			return recs, off, nil // CRC-valid but undecodable: treat as corruption
+		}
+		rec := Record{Seq: req.ID, Op: req.Op, Mode: req.Mode, Key: req.Key}
+		switch req.Op {
+		case wire.OpUpdate:
+			if len(req.Args) != w {
+				return recs, off, fmt.Errorf("persist: log record has %d-word args, map width is %d (geometry changed?)", len(req.Args), w)
+			}
+		case wire.OpUpdateMulti:
+			if len(req.Args) != len(req.Keys)*w {
+				return recs, off, fmt.Errorf("persist: multi log record has %d keys × %d-word args, map width is %d (geometry changed?)",
+					len(req.Keys), len(req.Args)/max(1, len(req.Keys)), w)
+			}
+			rec.Keys = append([]uint64(nil), req.Keys...)
+		default:
+			return recs, off, nil // not an update record: treat as corruption
+		}
+		rec.Args = append([]uint64(nil), req.Args...)
+		recs = append(recs, rec)
+		off += recHeader + n
+	}
+}

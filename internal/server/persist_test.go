@@ -1,0 +1,147 @@
+package server_test
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"mwllsc/internal/client"
+	"mwllsc/internal/persist"
+	"mwllsc/internal/server"
+	"mwllsc/internal/shard"
+)
+
+// TestPersistIntegration drives a real server with the durability layer
+// attached: concurrent adds, sets and cross-shard transfers over
+// loopback, a checkpoint taken under load, more traffic, a clean
+// shutdown — then recovery into a fresh map must reproduce the exact
+// final snapshot. Run it under -race.
+func TestPersistIntegration(t *testing.T) {
+	const (
+		shards  = 8
+		slots   = 6
+		words   = 2
+		workers = 8
+		perW    = 60
+	)
+	dir := filepath.Join(t.TempDir(), "data")
+	m, err := shard.NewMap(shards, slots, words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, rec, err := persist.Open(dir, m, persist.Options{Policy: persist.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Checkpoint || rec.Replayed != 0 {
+		t.Fatalf("fresh dir recovered %+v", rec)
+	}
+	s := server.New(m, server.WithMaxBatch(32), server.WithPersist(st))
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve()
+
+	c, err := client.Dial(addr.String(), client.WithConns(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	keys := make([]uint64, shards)
+	for i := range keys {
+		keys[i] = m.KeyForShard(i)
+		if _, err := c.Set(ctx, keys[i], []uint64{1000, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	load := func() {
+		var wg sync.WaitGroup
+		for wkr := 0; wkr < workers; wkr++ {
+			wg.Add(1)
+			go func(wkr int) {
+				defer wg.Done()
+				for i := 0; i < perW; i++ {
+					src, dst := keys[(wkr+i)%shards], keys[(wkr+i+1)%shards]
+					switch i % 3 {
+					case 0:
+						if _, err := c.Add(ctx, src, []uint64{0, 1}); err != nil {
+							t.Error(err)
+							return
+						}
+					default:
+						_, err := c.AddMulti(ctx, []uint64{src, dst},
+							[][]uint64{{^uint64(0), 1}, {1, 1}}) // move one unit, bump op counters
+						if err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}
+			}(wkr)
+		}
+		wg.Wait()
+	}
+
+	load()
+	// Checkpoint while a second round of traffic is in flight: the
+	// watermark must cleanly split records between snapshot and logs.
+	ckptDone := make(chan error, 1)
+	go func() { ckptDone <- s.Checkpoint() }()
+	load()
+	if err := <-ckptDone; err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := c.SnapshotAtomic(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := shard.NewMap(shards, slots, words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, rec2, err := persist.Open(dir, m2, persist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if !rec2.Checkpoint {
+		t.Fatalf("recovery %+v, want a checkpoint", rec2)
+	}
+	got := m2.NewSnapshotBuffer()
+	m2.SnapshotAtomic(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered state %v\nwant %v", got, want)
+	}
+
+	// Conservation double-check: units were only moved, never created.
+	var units uint64
+	for _, row := range got {
+		units += row[0]
+	}
+	if units != shards*1000 {
+		t.Fatalf("recovered unit total %d, want %d", units, shards*1000)
+	}
+}
+
+// TestCheckpointWithoutStore verifies the error path when no durability
+// layer is attached.
+func TestCheckpointWithoutStore(t *testing.T) {
+	s := newServer(t, 2, 2, 1)
+	if err := s.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint on an in-memory server succeeded")
+	}
+}

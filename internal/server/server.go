@@ -32,6 +32,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mwllsc/internal/persist"
 	"mwllsc/internal/shard"
 	"mwllsc/internal/wire"
 )
@@ -56,11 +57,22 @@ func WithLogf(logf func(format string, args ...any)) Option {
 	return func(s *Server) { s.logf = logf }
 }
 
+// WithPersist attaches a durability store (internal/persist): every
+// committed Update/UpdateMulti is appended to the store's per-shard log
+// after its batch executes — outside the registry slot, so disk I/O
+// never pins a process id — and, under persist.SyncAlways, the batch's
+// responses are held until a group-commit fsync covers its records. The
+// store must have been opened over the same map this server serves.
+func WithPersist(st *persist.Store) Option {
+	return func(s *Server) { s.persist = st }
+}
+
 // Server serves a shard.Map over TCP.
 type Server struct {
 	m        *shard.Map
 	maxBatch int
 	logf     func(format string, args ...any)
+	persist  *persist.Store
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -383,18 +395,90 @@ func (s *Server) executeBatch(batch []batchReq, out chan<- *wire.Response) {
 		lo = hi
 	}
 	resps := make([]*wire.Response, 0, len(batch))
+	var recs []persist.Record
+	var recResp []int // recs[i] belongs to resps[recResp[i]]
 	h := s.m.Acquire()
 	for i := range batch {
-		resps = append(resps, s.execute(h, &batch[i].req))
+		var rec *persist.Record
+		if s.persist != nil {
+			recs = append(recs, persist.Record{})
+			rec = &recs[len(recs)-1]
+		}
+		resp := s.execute(h, &batch[i].req, rec)
+		if rec != nil {
+			if rec.Op == 0 { // not a committed update; nothing to log
+				recs = recs[:len(recs)-1]
+			} else {
+				recResp = append(recResp, len(resps))
+			}
+		}
+		resps = append(resps, resp)
 	}
 	h.Release()
+	// Durability happens here: after execution, outside the registry
+	// slot, before the responses flush. The record slices alias the
+	// batch's decode buffers, which stay untouched until the next batch.
+	if len(recs) > 0 {
+		err := s.persist.Append(recs)
+		if err == nil && s.persist.Policy() == persist.SyncAlways {
+			err = s.persist.Sync()
+		}
+		if err != nil {
+			s.logf("server: persistence: %v", err)
+			if s.persist.Policy() == persist.SyncAlways {
+				// The in-memory commit stands, but the durability the
+				// policy promises does not — fail the acknowledgment
+				// rather than lie about it.
+				for _, ri := range recResp {
+					id := resps[ri].ID
+					resps[ri] = &wire.Response{ID: id, Status: wire.StatusBadRequest,
+						Err: fmt.Sprintf("persistence failure: %v", err)}
+				}
+			}
+		}
+	}
 	for _, resp := range resps {
 		out <- resp
 	}
 }
 
-// execute runs one request and returns its response.
-func (s *Server) execute(h *shard.MapHandle, req *wire.Request) *wire.Response {
+// Checkpoint rewrites the durability store's snapshot file and
+// truncates its logs (see persist.Store.Checkpoint). The watermark
+// capture runs as an identity transaction over all shards: cross-shard
+// atomic, so the snapshot is one consistent cut, and conflicting with
+// every shard, so the sequence number drawn inside the callback cleanly
+// separates the updates the snapshot contains from those it does not.
+// Serving continues concurrently; only the capture's brief all-shard
+// lock is shared with foreground traffic.
+func (s *Server) Checkpoint() error {
+	if s.persist == nil {
+		return errors.New("server: no durability store attached")
+	}
+	return s.persist.Checkpoint(func() ([][]uint64, uint64, error) {
+		rows := s.m.NewSnapshotBuffer()
+		keys := make([]uint64, s.m.Shards())
+		for i := range keys {
+			keys[i] = s.m.KeyForShard(i)
+		}
+		var watermark uint64
+		h := s.m.Acquire()
+		defer h.Release()
+		h.UpdateMulti(keys, func(vals [][]uint64) {
+			watermark = s.persist.NextSeq()
+			for i, v := range vals {
+				copy(rows[i], v)
+			}
+		})
+		return rows, watermark, nil
+	})
+}
+
+// execute runs one request and returns its response. When persistence
+// is on, rec is a scratch Record the durable ops fill in — Seq is drawn
+// inside the merge callback, whose final (committing) run leaves the
+// number that orders the record against every other committed update on
+// its shards; rec.Op stays 0 for non-durable or failed requests.
+func (s *Server) execute(h *shard.MapHandle, req *wire.Request, rec *persist.Record) *wire.Response {
 	resp := &wire.Response{ID: req.ID}
 	w := s.m.W()
 	switch req.Op {
@@ -418,10 +502,22 @@ func (s *Server) execute(h *shard.MapHandle, req *wire.Request) *wire.Response {
 		resp.Rows, resp.Words = 1, uint32(w)
 		resp.Data = make([]uint64, w)
 		args, mode, dst := req.Args, req.Mode, resp.Data
-		attempts := h.Update(req.Key, func(v []uint64) {
-			merge(v, args, mode)
-			copy(dst, v)
-		})
+		var attempts int
+		if rec != nil {
+			st := s.persist
+			attempts = h.Update(req.Key, func(v []uint64) {
+				wire.Merge(v, args, mode)
+				copy(dst, v)
+				rec.Seq = st.NextSeq()
+			})
+			rec.Op, rec.Mode, rec.Key, rec.Args = wire.OpUpdate, mode, req.Key, args
+			rec.Shard = s.m.ShardIndex(req.Key)
+		} else {
+			attempts = h.Update(req.Key, func(v []uint64) {
+				wire.Merge(v, args, mode)
+				copy(dst, v)
+			})
+		}
 		resp.Attempts = uint32(attempts)
 
 	case wire.OpSnapshot, wire.OpSnapshotAtomic:
@@ -458,12 +554,31 @@ func (s *Server) execute(h *shard.MapHandle, req *wire.Request) *wire.Response {
 		resp.Rows, resp.Words = uint32(nk), uint32(w)
 		resp.Data = make([]uint64, nk*w)
 		args, mode, dst := req.Args, req.Mode, resp.Data
-		attempts := h.UpdateMulti(req.Keys, func(vals [][]uint64) {
-			for i, v := range vals {
-				merge(v, args[i*w:(i+1)*w], mode)
-				copy(dst[i*w:(i+1)*w], v)
+		var attempts int
+		if rec != nil {
+			st := s.persist
+			attempts = h.UpdateMulti(req.Keys, func(vals [][]uint64) {
+				for i, v := range vals {
+					wire.Merge(v, args[i*w:(i+1)*w], mode)
+					copy(dst[i*w:(i+1)*w], v)
+				}
+				rec.Seq = st.NextSeq()
+			})
+			rec.Op, rec.Mode, rec.Keys, rec.Args = wire.OpUpdateMulti, mode, req.Keys, args
+			rec.Shard = s.m.ShardIndex(req.Keys[0])
+			for _, k := range req.Keys[1:] {
+				if i := s.m.ShardIndex(k); i < rec.Shard {
+					rec.Shard = i
+				}
 			}
-		})
+		} else {
+			attempts = h.UpdateMulti(req.Keys, func(vals [][]uint64) {
+				for i, v := range vals {
+					wire.Merge(v, args[i*w:(i+1)*w], mode)
+					copy(dst[i*w:(i+1)*w], v)
+				}
+			})
+		}
 		resp.Attempts = uint32(attempts)
 
 	case wire.OpStats:
@@ -492,17 +607,4 @@ func (s *Server) fail(resp *wire.Response, format string, args ...any) *wire.Res
 	resp.Err = fmt.Sprintf(format, args...)
 	resp.Rows, resp.Words, resp.Data = 0, 0, nil
 	return resp
-}
-
-// merge applies the request's word-merge mode; it runs inside the LL/SC
-// retry loop, so it is deterministic and side-effect free by
-// construction.
-func merge(v, args []uint64, mode wire.Mode) {
-	if mode == wire.ModeSet {
-		copy(v, args)
-		return
-	}
-	for i := range v {
-		v[i] += args[i]
-	}
 }

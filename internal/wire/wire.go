@@ -136,6 +136,21 @@ func (s Status) String() string {
 	}
 }
 
+// Merge applies an update's word-merge mode to a stored value: ModeAdd
+// adds each arg word into v (wrapping), ModeSet overwrites v with args.
+// It is the one merge semantic shared by the server's live execution
+// path and the persistence layer's log replay — deterministic and
+// side-effect free, as the LL/SC retry loop requires.
+func Merge(v, args []uint64, mode Mode) {
+	if mode == ModeSet {
+		copy(v, args)
+		return
+	}
+	for i := range v {
+		v[i] += args[i]
+	}
+}
+
 // MaxFrame bounds a frame's payload; both sides reject bigger frames
 // instead of allocating attacker-controlled amounts. Generous enough for
 // a snapshot of thousands of shards times a wide W.
