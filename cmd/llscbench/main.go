@@ -1,20 +1,25 @@
-// Command llscbench regenerates the experiment tables E1-E12: the
+// Command llscbench regenerates the experiment tables E1-E13: the
 // empirical counterparts of the paper's Theorem 1 claims (E1-E7), the
 // scaling experiments for the sharded map and handle registry (E8-E9),
 // the cross-shard transaction experiment (E10), the networked
 // serving-layer load experiment (E11; cmd/llscload is its standalone
-// load generator), and the durability-cost experiment across fsync
-// policies (E12). docs/BENCHMARKS.md documents the methodology and the
-// full catalog.
+// load generator), the durability-cost experiment across fsync
+// policies (E12), and the hot-path allocation gate (E13, held at zero
+// by cmd/llscgate in CI). docs/BENCHMARKS.md documents the methodology
+// and the full catalog.
 //
 // Usage:
 //
-//	llscbench [-e e1,e3] [-impls jp,amstyle] [-dur 200ms] [-iters 50000] [-csv] [-json out.json]
+//	llscbench [-e e1,e3] [-impls jp,amstyle] [-dur 200ms] [-iters 50000] [-procs 1,4] [-csv] [-json out.json]
 //
-// With no -e flag every experiment runs. Results print as plain-text
-// tables. With -json PATH the run is also written as a machine-readable
-// Report (internal/bench.Report) for archiving the BENCH_*.json perf
-// trajectory; PATH "-" writes JSON to stdout and suppresses the text
+// With no -e flag every experiment runs. -procs sets the GOMAXPROCS
+// sweep for the serving experiments E11/E12 (default {1,4,8,16} capped
+// at the machine's parallelism); values above NumCPU are allowed and
+// the report's gomaxprocs/num_cpu stamps record the truth. Results
+// print as plain-text tables. With -json PATH the run is also written
+// as a machine-readable Report (internal/bench.Report) for archiving
+// the BENCH_*.json perf trajectory and for cmd/llscgate's regression
+// comparison; PATH "-" writes JSON to stdout and suppresses the text
 // tables.
 package main
 
@@ -22,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -36,10 +42,11 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("llscbench", flag.ContinueOnError)
 	var (
-		exps     = fs.String("e", "", "comma-separated experiments to run (e1..e12); empty = all")
+		exps     = fs.String("e", "", "comma-separated experiments to run (e1..e13); empty = all")
 		implList = fs.String("impls", "", "comma-separated implementations (default: all of "+strings.Join(impls.Names(), ",")+")")
 		dur      = fs.Duration("dur", 150*time.Millisecond, "measurement window per throughput point")
 		iters    = fs.Int("iters", 30000, "iterations per latency point")
+		procList = fs.String("procs", "", "comma-separated GOMAXPROCS sweep for E11/E12 (default: 1,4,8,16 capped at the machine)")
 		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables (for plotting)")
 		jsonOut  = fs.String("json", "", "also write a machine-readable JSON report to this path (\"-\" = stdout only)")
 	)
@@ -50,6 +57,16 @@ func run(args []string) int {
 	o := bench.Options{Dur: *dur, Iters: *iters}
 	if *implList != "" {
 		o.Impls = strings.Split(*implList, ",")
+	}
+	if *procList != "" {
+		for _, p := range strings.Split(*procList, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "llscbench: bad -procs entry %q\n", p)
+				return 2
+			}
+			o.Procs = append(o.Procs, n)
+		}
 	}
 
 	builders := []struct {
@@ -68,6 +85,7 @@ func run(args []string) int {
 		{"e10", bench.E10Transactions},
 		{"e11", bench.E11NetServing},
 		{"e12", bench.E12Durability},
+		{"e13", bench.E13Allocs},
 	}
 
 	want := map[string]bool{}

@@ -134,9 +134,9 @@ func run(args []string, stop <-chan os.Signal, stdout, stderr io.Writer) int {
 		select {
 		case <-tick:
 			sv := s.Stats()
-			fmt.Fprintf(stdout, "llscd: conns=%d/%d reqs=%d upd=%d read=%d snap=%d multi=%d batches=%d avgbatch=%.1f badreq=%d\n",
+			fmt.Fprintf(stdout, "llscd: conns=%d/%d reqs=%d upd=%d read=%d snap=%d multi=%d batches=%d avgbatch=%.1f badreq=%d persisterr=%d\n",
 				sv.ConnsOpen, sv.ConnsTotal, sv.Reqs, sv.Updates, sv.Reads, sv.Snapshots, sv.Multis,
-				sv.Batches, avg(sv.Reqs, sv.Batches), sv.BadReqs)
+				sv.Batches, avg(sv.Reqs, sv.Batches), sv.BadReqs, sv.PersistErrs)
 			if st != nil {
 				ps := st.Stats()
 				fmt.Fprintf(stdout, "llscd: persist records=%d bytes=%d syncs=%d ckpts=%d seq=%d\n",

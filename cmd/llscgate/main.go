@@ -1,0 +1,97 @@
+// Command llscgate is the benchmark regression gate: it compares a
+// fresh llscbench JSON report against a committed baseline and exits
+// non-zero when the performance trajectory regressed beyond the
+// tolerance bands, which is how CI turns the BENCH_*.json artifact
+// trail into a blocking check instead of a graph nobody reads.
+//
+// Usage:
+//
+//	llscgate [-warn 0.10] [-fail 0.25] BENCH_baseline.json BENCH_current.json [more_current.json ...]
+//
+// With several current reports (CI records two back-to-back runs) the
+// gate compares against their cell-wise best — maximum throughput,
+// minimum allocs/op — so one run catching a slow scheduler episode
+// cannot fail the build while a real regression, which depresses every
+// run, still does.
+//
+// Gated columns (matched by name, rows matched by their leading key
+// columns so ordering may differ): throughput columns ("…/s") warn per
+// row at -warn fractional loss and fail when an experiment's MEDIAN
+// loss reaches -fail — or any single row falls past twice -fail — a
+// rule sized so that single-point jitter on a shared runner warns while
+// an across-the-board regression fails (see internal/bench/gate.go for
+// the noise measurements behind it). "allocs/op" columns fail on any
+// increase, because the gated hot paths are exactly zero by design.
+// Structural differences — experiments or rows present in only one
+// report — are warnings, so a baseline predating a new experiment does
+// not block the PR adding it.
+//
+// Exit status: 0 pass (warnings allowed), 1 regression, 2 usage or
+// unreadable report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mwllsc/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("llscgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		warn = fs.Float64("warn", 0.10, "fractional throughput loss that warns")
+		fail = fs.Float64("fail", 0.25, "fractional throughput loss that fails")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() < 2 {
+		fmt.Fprintln(stderr, "usage: llscgate [-warn f] [-fail f] baseline.json current.json [more_current.json ...]")
+		return 2
+	}
+	base, err := bench.ReadReport(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "llscgate: baseline: %v\n", err)
+		return 2
+	}
+	runs := make([]*bench.Report, 0, fs.NArg()-1)
+	for _, arg := range fs.Args()[1:] {
+		r, err := bench.ReadReport(arg)
+		if err != nil {
+			fmt.Fprintf(stderr, "llscgate: current: %v\n", err)
+			return 2
+		}
+		runs = append(runs, r)
+	}
+	cur := bench.BestOf(runs...)
+
+	// Comparing runs from different parallelism regimes silently gates
+	// apples against oranges; say so, then gate anyway — the row keys
+	// carry the procs value, so same-procs rows still pair up honestly.
+	if base.GOMAXPROCS != cur.GOMAXPROCS || base.NumCPU != cur.NumCPU {
+		fmt.Fprintf(stdout, "note: baseline recorded at GOMAXPROCS=%d/cpus=%d, current at GOMAXPROCS=%d/cpus=%d\n",
+			base.GOMAXPROCS, base.NumCPU, cur.GOMAXPROCS, cur.NumCPU)
+	}
+
+	res := bench.CompareReports(base, cur, bench.GateOptions{WarnFrac: *warn, FailFrac: *fail})
+	for _, w := range res.Warnings {
+		fmt.Fprintf(stdout, "warn: %s\n", w)
+	}
+	for _, f := range res.Failures {
+		fmt.Fprintf(stdout, "FAIL: %s\n", f)
+	}
+	if !res.OK() {
+		fmt.Fprintf(stdout, "llscgate: %d regression(s) over %d gated cells\n", len(res.Failures), res.Checked)
+		return 1
+	}
+	fmt.Fprintf(stdout, "llscgate: ok (%d gated cells, %d warnings)\n", res.Checked, len(res.Warnings))
+	return 0
+}

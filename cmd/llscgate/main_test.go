@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mwllsc/internal/bench"
+)
+
+// writeReport renders a one-experiment report to a temp file.
+func writeReport(t *testing.T, name string, ops float64, allocs float64) string {
+	t.Helper()
+	e11 := &bench.Table{ID: "e11", Cols: []string{"procs", "conns", "ops/s"}}
+	e11.AddRow(1, 1, ops)
+	e13 := &bench.Table{ID: "e13", Cols: []string{"path", "allocs/op"}}
+	e13.AddRow("server update execute", allocs)
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := bench.NewReport([]*bench.Table{e11, e13}).WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGateCLI(t *testing.T) {
+	base := writeReport(t, "base.json", 100000, 0)
+
+	var out, errOut strings.Builder
+	if code := run([]string{base, writeReport(t, "same.json", 100000, 0)}, &out, &errOut); code != 0 {
+		t.Fatalf("identical reports: exit %d, out %q err %q", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "llscgate: ok") {
+		t.Fatalf("pass output %q", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{base, writeReport(t, "slow.json", 60000, 0)}, &out, &errOut); code != 1 {
+		t.Fatalf("40%% throughput loss: exit %d, want 1 (out %q)", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("fail output %q", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{base, writeReport(t, "leak.json", 100000, 1)}, &out, &errOut); code != 1 {
+		t.Fatalf("alloc increase: exit %d, want 1 (out %q)", code, out.String())
+	}
+
+	// Loosened bands via flags: the same 40% loss passes with -fail 0.5.
+	out.Reset()
+	if code := run([]string{"-fail", "0.5", base, writeReport(t, "slow2.json", 60000, 0)}, &out, &errOut); code != 0 {
+		t.Fatalf("-fail 0.5 with 40%% loss: exit %d, want 0 (out %q)", code, out.String())
+	}
+}
+
+func TestGateCLIUsage(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"/nonexistent.json", "/nonexistent2.json"}, &out, &errOut); code != 2 {
+		t.Fatalf("unreadable reports: exit %d, want 2", code)
+	}
+}
+
+func TestGateCLIBestOfSeveralRuns(t *testing.T) {
+	base := writeReport(t, "base.json", 100000, 0)
+	slow := writeReport(t, "slow.json", 60000, 0)
+	fast := writeReport(t, "fast.json", 98000, 0)
+
+	var out, errOut strings.Builder
+	// The slow run alone fails (40% median loss)...
+	if code := run([]string{base, slow}, &out, &errOut); code != 1 {
+		t.Fatalf("slow run alone: exit %d, want 1 (out %q)", code, out.String())
+	}
+	// ...but paired with a healthy run the cell-wise best passes.
+	out.Reset()
+	if code := run([]string{base, slow, fast}, &out, &errOut); code != 0 {
+		t.Fatalf("best-of slow+fast: exit %d, want 0 (out %q)", code, out.String())
+	}
+}

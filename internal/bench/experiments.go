@@ -19,6 +19,11 @@ type Options struct {
 	Iters int
 	// Impls restricts which implementations run (default: all).
 	Impls []string
+	// Procs is the GOMAXPROCS sweep for the serving experiments E11/E12
+	// (default: ProcsSweep()). Values above NumCPU are honored — on a
+	// small CI box that still exercises the scheduler-contention shape,
+	// and the report's gomaxprocs/num_cpu stamps keep the run honest.
+	Procs []int
 }
 
 func (o Options) withDefaults() Options {
@@ -31,7 +36,28 @@ func (o Options) withDefaults() Options {
 	if len(o.Impls) == 0 {
 		o.Impls = impls.Names()
 	}
+	if len(o.Procs) == 0 {
+		o.Procs = ProcsSweep()
+	}
 	return o
+}
+
+// ProcsSweep returns the default GOMAXPROCS sweep for the serving
+// experiments: {1, 4, 8, 16} capped at the ambient parallelism — the
+// larger of NumCPU and the starting GOMAXPROCS, so GOMAXPROCS=4 in the
+// environment raises the ceiling on a single-core machine.
+func ProcsSweep() []int {
+	ceil := runtime.NumCPU()
+	if g := runtime.GOMAXPROCS(0); g > ceil {
+		ceil = g
+	}
+	procs := []int{1}
+	for _, p := range []int{4, 8, 16} {
+		if p <= ceil {
+			procs = append(procs, p)
+		}
+	}
+	return procs
 }
 
 // E1TimeComplexity builds the Theorem 1 time table: per-op latency vs W.

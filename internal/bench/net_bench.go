@@ -3,6 +3,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -163,30 +164,43 @@ func E11NetServing(o Options) (*Table, error) {
 			maxConns = p.conns
 		}
 	}
-	// Each in-flight batch pins one registry slot; a couple of spares
-	// keep Stats and stragglers from queueing behind the loadgen.
-	srv, addr, err := StartLoopbackServer(k, maxConns+2, w, maxBatch)
-	if err != nil {
-		return nil, fmt.Errorf("E11: %w", err)
-	}
-	defer srv.Close()
 
 	t := &Table{
 		ID: "e11",
 		Title: fmt.Sprintf("E11: networked serving over loopback TCP (K=%d shards, W=%d, maxbatch=%d, %v/point)",
 			k, w, maxBatch, o.Dur),
-		Note: "closed-loop Add(key, deltas) load; conns = client pool size (server-side parallelism), " +
+		Note: "closed-loop Add(key, deltas) load; procs = GOMAXPROCS for the point; " +
+			"conns = client pool size (server-side parallelism), " +
 			"inflight = concurrent workers (pipelining depth = inflight/conns); " +
 			"avg batch = server requests per registry acquisition.",
-		Cols: []string{"conns", "inflight", "ops/s", "p50 us", "p99 us", "avg batch"},
+		Cols: []string{"procs", "conns", "inflight", "ops/s", "p50 us", "p99 us", "avg batch"},
 	}
-	for _, p := range points {
-		res, err := NetLoadClosedLoop(addr, p.conns, p.conns*p.perConn, w, o.Dur)
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0)) // restore the ambient setting
+	for _, procs := range o.Procs {
+		runtime.GOMAXPROCS(procs)
+		// A fresh server per procs value: goroutines parked on the old
+		// setting's run queues must not color the next sweep point.
+		err := func() error {
+			// Each in-flight batch pins one registry slot; a couple of spares
+			// keep Stats and stragglers from queueing behind the loadgen.
+			srv, addr, err := StartLoopbackServer(k, maxConns+2, w, maxBatch)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			for _, p := range points {
+				res, err := NetLoadClosedLoop(addr, p.conns, p.conns*p.perConn, w, o.Dur)
+				if err != nil {
+					return fmt.Errorf("conns=%d inflight=%d: %w", p.conns, p.conns*p.perConn, err)
+				}
+				t.AddRow(procs, p.conns, p.conns*p.perConn, res.OpsPerSec,
+					float64(res.P50.Nanoseconds())/1e3, float64(res.P99.Nanoseconds())/1e3, res.AvgBatch)
+			}
+			return nil
+		}()
 		if err != nil {
-			return nil, fmt.Errorf("E11 conns=%d inflight=%d: %w", p.conns, p.conns*p.perConn, err)
+			return nil, fmt.Errorf("E11 procs=%d: %w", procs, err)
 		}
-		t.AddRow(p.conns, p.conns*p.perConn, res.OpsPerSec,
-			float64(res.P50.Nanoseconds())/1e3, float64(res.P99.Nanoseconds())/1e3, res.AvgBatch)
 	}
 	return t, nil
 }

@@ -20,6 +20,7 @@ package client
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -421,9 +422,18 @@ func (cn *conn) writeLoop() {
 }
 
 // readLoop decodes response frames and completes pendings by id.
+//
+// The response id is the frame's first 8 words of payload, so the loop
+// matches the pending first and decodes straight into the caller's
+// slot: the waiting caller's Response — not a loop-local temporary —
+// owns the decoded Data. Frames nobody is waiting for (canceled
+// callers, the server's id-0 error frame) decode into a per-connection
+// scratch Response whose Data backing array is reused, so a stream of
+// abandoned responses costs no per-frame allocation.
 func (cn *conn) readLoop() {
 	br := bufio.NewReaderSize(cn.nc, 64<<10)
 	var frame []byte
+	var scratch wire.Response
 	for {
 		var err error
 		frame, err = wire.ReadFrame(br, frame)
@@ -431,19 +441,32 @@ func (cn *conn) readLoop() {
 			cn.close(fmt.Errorf("client: read: %w", err))
 			return
 		}
-		var resp wire.Response
-		if err := wire.DecodeResponse(&resp, frame); err != nil {
-			cn.close(err)
+		if len(frame) < 8 {
+			cn.close(fmt.Errorf("client: response frame %d bytes, need >= 8", len(frame)))
 			return
 		}
 		cn.mu.Lock()
-		p := cn.pend[resp.ID]
-		delete(cn.pend, resp.ID)
+		id := binary.LittleEndian.Uint64(frame)
+		p := cn.pend[id]
+		delete(cn.pend, id)
 		cn.mu.Unlock()
 		if p == nil {
-			continue // canceled caller, or the server's id-0 error frame
+			// Still decode, so a malformed frame kills the connection
+			// instead of silently desynchronizing it.
+			if err := wire.DecodeResponse(&scratch, frame); err != nil {
+				cn.close(err)
+				return
+			}
+			continue
 		}
-		p.resp = resp
+		if err := wire.DecodeResponse(&p.resp, frame); err != nil {
+			// p left the map above, so close() can no longer reach it:
+			// complete it by hand before failing the connection.
+			p.err = err
+			close(p.done)
+			cn.close(err)
+			return
+		}
 		close(p.done)
 	}
 }

@@ -2,6 +2,7 @@ package client_test
 
 import (
 	"context"
+	"encoding/binary"
 	"net"
 	"sync"
 	"testing"
@@ -322,5 +323,83 @@ func TestRawMalformedFrame(t *testing.T) {
 	}
 	if resp.Status != wire.StatusBadRequest {
 		t.Fatalf("status %v, want bad-request", resp.Status)
+	}
+}
+
+// fakeServer accepts one connection and hands each decoded request to
+// respond, which writes whatever frames it wants back on the socket.
+func fakeServer(t *testing.T, respond func(nc net.Conn, req *wire.Request)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close()
+		var frame []byte
+		var req wire.Request
+		for {
+			frame, err = wire.ReadFrame(nc, frame)
+			if err != nil {
+				return
+			}
+			if err := wire.DecodeRequest(&req, frame); err != nil {
+				return
+			}
+			respond(nc, &req)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestUnmatchedResponsesDropped pins the reader's drop path: responses
+// whose id matches no pending caller (a canceled request's late answer,
+// or a server-pushed id-0 error) are consumed without disturbing the
+// stream, and later matched responses still complete their callers.
+func TestUnmatchedResponsesDropped(t *testing.T) {
+	addr := fakeServer(t, func(nc net.Conn, req *wire.Request) {
+		// A well-formed response nobody is waiting for, then the real one.
+		stray := wire.AppendResponse(nil, &wire.Response{ID: req.ID + 1<<40, Status: wire.StatusOK})
+		real := wire.AppendResponse(nil, &wire.Response{ID: req.ID, Status: wire.StatusOK})
+		wire.WriteFrame(nc, stray)
+		wire.WriteFrame(nc, real)
+	})
+	c := dial(t, addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i := 0; i < 10; i++ {
+		if err := c.Ping(ctx); err != nil {
+			t.Fatalf("ping %d after stray responses: %v", i, err)
+		}
+	}
+}
+
+// TestDecodeErrorCompletesPending pins the reader's failure path when
+// the malformed frame carries a real caller's id: that caller must be
+// completed with the decode error, not stranded until its deadline,
+// even though the reader has already removed it from the pending map.
+func TestDecodeErrorCompletesPending(t *testing.T) {
+	addr := fakeServer(t, func(nc net.Conn, req *wire.Request) {
+		// Correct id, StatusOK, but a truncated body (no attempts/rows/
+		// words header) — DecodeResponse must reject it.
+		payload := make([]byte, 9)
+		binary.LittleEndian.PutUint64(payload, req.ID)
+		payload[8] = byte(wire.StatusOK)
+		wire.WriteFrame(nc, payload)
+	})
+	c := dial(t, addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := c.Ping(ctx)
+	if err == nil {
+		t.Fatal("ping succeeded on a malformed response")
+	}
+	if ctx.Err() != nil {
+		t.Fatalf("caller hung until deadline instead of completing with the decode error (%v)", err)
 	}
 }

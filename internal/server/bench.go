@@ -1,0 +1,84 @@
+package server
+
+import (
+	"runtime"
+
+	"mwllsc/internal/shard"
+	"mwllsc/internal/wire"
+)
+
+// HotPathAllocs reports the steady-state heap allocations per request of
+// the server's batch-execute path, for Read and for Update — the number
+// the E13 allocation gate (internal/bench, cmd/llscgate) tracks across
+// PRs, and it must be zero: the response arena, the recycled decode
+// buffers, the reacquirable map handle and the pre-bound merge closures
+// exist precisely so that serving a request costs no allocation.
+//
+// It drives executeBatch directly with pre-decoded batches rather than
+// through a TCP connection: internal/bench cannot reach the unexported
+// execute machinery, and a socket would fold goroutine wakeups and bufio
+// into a measurement whose entire point is an exact zero for the execute
+// path alone (the wire encode/decode halves are measured separately by
+// E13's wire rows).
+func HotPathAllocs(runs int) (readAllocs, updateAllocs float64, err error) {
+	const (
+		k      = 4
+		w      = 2
+		batchN = 8
+	)
+	m, err := shard.NewMap(k, 2, w)
+	if err != nil {
+		return 0, 0, err
+	}
+	s := New(m)
+	cs := s.newConnState()
+	out := make(chan *wire.Response, 2*batchN)
+
+	args := []uint64{1, 2}
+	mkBatch := func(op wire.Op) {
+		cs.batch = cs.batch[:0]
+		for i := 0; i < batchN; i++ {
+			key := uint64(i) * 977
+			br := batchReq{shardI: m.ShardIndex(key)}
+			br.req = wire.Request{ID: uint64(i), Op: op, Key: key}
+			if op == wire.OpUpdate {
+				br.req.Mode = wire.ModeAdd
+				br.req.Args = args
+			}
+			cs.batch = append(cs.batch, br)
+		}
+	}
+	// One execute round: run the batch, then recycle the responses the
+	// writer goroutine would have returned to the arena.
+	round := func() {
+		s.executeBatch(cs, out)
+		for i := 0; i < batchN; i++ {
+			cs.putResp(<-out)
+		}
+	}
+
+	measure := func(op wire.Op) float64 {
+		mkBatch(op)
+		round() // warm the arena, handle, and data buffers
+		return allocsPerRun(runs, round) / batchN
+	}
+	readAllocs = measure(wire.OpRead)
+	updateAllocs = measure(wire.OpUpdate)
+	return readAllocs, updateAllocs, nil
+}
+
+// allocsPerRun mirrors testing.AllocsPerRun for non-test binaries (the
+// same helper internal/bench keeps for E7; duplicated here because bench
+// imports this package): average heap allocations per call to f over
+// runs calls, with the world pinned to one proc.
+func allocsPerRun(runs int, f func()) float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	f() // warmup
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(runs)
+}

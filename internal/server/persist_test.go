@@ -145,3 +145,67 @@ func TestCheckpointWithoutStore(t *testing.T) {
 		t.Fatal("Checkpoint on an in-memory server succeeded")
 	}
 }
+
+// TestPersistFailureCountsInStats pins the operator-visibility contract
+// of a persistence failure under -fsync always: the committed update is
+// converted into an error response (the durability the policy promises
+// did not happen), and the event is counted — PersistErrs for the
+// failing round, BadReqs for each converted acknowledgment — so an
+// operator can alert on silent durability loss instead of discovering
+// it during recovery.
+func TestPersistFailureCountsInStats(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	m, err := shard.NewMap(4, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := persist.Open(dir, m, persist.Options{Policy: persist.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(m, server.WithPersist(st))
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve()
+	defer s.Close()
+
+	c, err := client.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	if _, err := c.Add(ctx, 1, []uint64{1, 0}); err != nil {
+		t.Fatalf("healthy update failed: %v", err)
+	}
+	before, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.PersistErrs != 0 {
+		t.Fatalf("PersistErrs = %d before any failure", before.PersistErrs)
+	}
+
+	// Closing the store underneath the server makes the next append (or
+	// its group-commit fsync) fail — the same observable outcome as a
+	// full disk or a dying device.
+	st.Close()
+
+	if _, err := c.Add(ctx, 2, []uint64{1, 0}); err == nil {
+		t.Fatal("update acked despite persistence failure under SyncAlways")
+	}
+	after, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.PersistErrs == 0 {
+		t.Error("PersistErrs not incremented by a persistence failure")
+	}
+	if after.BadReqs <= before.BadReqs {
+		t.Errorf("BadReqs did not count the converted ack: before %d after %d",
+			before.BadReqs, after.BadReqs)
+	}
+}

@@ -25,10 +25,10 @@ package server
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -89,6 +89,9 @@ type Server struct {
 	multis     atomic.Uint64
 	batches    atomic.Uint64
 	badReqs    atomic.Uint64
+	// persistErrs counts failed persistence rounds (append or
+	// group-commit fsync errors); see wire.ServerStats.PersistErrs.
+	persistErrs atomic.Uint64
 }
 
 // New creates a server over m. The map is shared: in-process callers may
@@ -221,19 +224,118 @@ func (s *Server) Close() error {
 // the served map's geometry.
 func (s *Server) Stats() wire.ServerStats {
 	return wire.ServerStats{
-		Shards:     uint64(s.m.Shards()),
-		Slots:      uint64(s.m.N()),
-		Words:      uint64(s.m.W()),
-		ConnsTotal: s.connsTotal.Load(),
-		ConnsOpen:  s.connsOpen.Load(),
-		Reqs:       s.reqs.Load(),
-		Updates:    s.updates.Load(),
-		Reads:      s.reads.Load(),
-		Snapshots:  s.snapshots.Load(),
-		Multis:     s.multis.Load(),
-		Batches:    s.batches.Load(),
-		BadReqs:    s.badReqs.Load(),
+		Shards:      uint64(s.m.Shards()),
+		Slots:       uint64(s.m.N()),
+		Words:       uint64(s.m.W()),
+		ConnsTotal:  s.connsTotal.Load(),
+		ConnsOpen:   s.connsOpen.Load(),
+		Reqs:        s.reqs.Load(),
+		Updates:     s.updates.Load(),
+		Reads:       s.reads.Load(),
+		Snapshots:   s.snapshots.Load(),
+		Multis:      s.multis.Load(),
+		Batches:     s.batches.Load(),
+		BadReqs:     s.badReqs.Load(),
+		PersistErrs: s.persistErrs.Load(),
 	}
+}
+
+// respDataSoftCap bounds (in words) the Data backing array a recycled
+// response may keep: a rare snapshot-sized response would otherwise pin
+// K×W words in the arena for the connection's lifetime.
+const respDataSoftCap = 4096
+
+// connState is one connection's reusable serving state — the reason the
+// hot path is allocation-free in steady state. It holds the decoded
+// batch (whose Request slots recycle their Keys/Args backing arrays),
+// the response arena cycled between the executor and the writer
+// goroutine, the executor's collection slices, the per-batch map handle
+// (re-armed with Reacquire instead of reallocated), and the merge
+// closures pre-bound at connection setup, which would otherwise be
+// allocated per update to capture that request's arguments.
+type connState struct {
+	s       *Server
+	h       *shard.MapHandle // lazily acquired, then Reacquire per batch
+	batch   []batchReq
+	resps   []*wire.Response
+	recs    []persist.Record
+	recResp []int               // recs[i] belongs to resps[recResp[i]]
+	free    chan *wire.Response // arena: writer returns, executor takes
+	rows    [][]uint64          // snapshot row scratch over resp.Data
+
+	// Update/UpdateMulti state read by the pre-bound merge closures.
+	args       []uint64
+	dst        []uint64
+	mode       wire.Mode
+	w          int
+	rec        *persist.Record // nil when the op is not persisted
+	mergeOne   func(v []uint64)
+	mergeMulti func(vals [][]uint64)
+}
+
+func (s *Server) newConnState() *connState {
+	cs := &connState{
+		s:     s,
+		batch: make([]batchReq, 0, s.maxBatch),
+		resps: make([]*wire.Response, 0, s.maxBatch),
+		// Room for everything in flight at once: the out channel's worth
+		// plus one executing batch, so recycled responses are almost
+		// never dropped.
+		free: make(chan *wire.Response, 5*s.maxBatch),
+	}
+	cs.mergeOne = func(v []uint64) {
+		wire.Merge(v, cs.args, cs.mode)
+		copy(cs.dst, v)
+		if cs.rec != nil {
+			cs.rec.Seq = s.persist.NextSeq()
+		}
+	}
+	cs.mergeMulti = func(vals [][]uint64) {
+		for i, v := range vals {
+			wire.Merge(v, cs.args[i*cs.w:(i+1)*cs.w], cs.mode)
+			copy(cs.dst[i*cs.w:(i+1)*cs.w], v)
+		}
+		if cs.rec != nil {
+			cs.rec.Seq = s.persist.NextSeq()
+		}
+	}
+	return cs
+}
+
+// getResp takes a recycled response from the arena (or allocates when
+// the arena is dry) and resets it for reuse.
+func (cs *connState) getResp() *wire.Response {
+	select {
+	case r := <-cs.free:
+		r.Status = wire.StatusOK
+		r.Attempts, r.Rows, r.Words = 0, 0, 0
+		r.Data, r.Err = r.Data[:0], ""
+		return r
+	default:
+		return &wire.Response{}
+	}
+}
+
+// putResp returns an encoded response to the arena. Oversized data
+// backing arrays (snapshots) are dropped first, mirroring
+// wire.ReadFrame's shrink of oversized frame buffers.
+func (cs *connState) putResp(r *wire.Response) {
+	if cap(r.Data) > respDataSoftCap {
+		r.Data = nil
+	}
+	select {
+	case cs.free <- r:
+	default:
+	}
+}
+
+// sizedData returns resp.Data resized to n words, reusing its capacity.
+func sizedData(resp *wire.Response, n int) []uint64 {
+	if cap(resp.Data) < n {
+		resp.Data = make([]uint64, n)
+	}
+	resp.Data = resp.Data[:n]
+	return resp.Data
 }
 
 func (s *Server) serveConn(c net.Conn) {
@@ -250,24 +352,33 @@ func (s *Server) serveConn(c net.Conn) {
 	// out and flushes whenever the queue runs dry. Buffered so the reader
 	// can race ahead within a batch.
 	out := make(chan *wire.Response, 4*s.maxBatch)
+	cs := s.newConnState()
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
 	go func() {
 		defer writerWG.Done()
-		s.writeLoop(c, out)
+		s.writeLoop(c, out, cs)
 	}()
-	s.readLoop(c, out)
+	s.readLoop(c, out, cs)
 	close(out)
 	writerWG.Wait()
 }
 
+// writeBufCap pre-sizes the writer's coalescing buffer (and is the cap
+// an oversized one shrinks back to): large enough for a maxBatch of
+// small-op responses, far below the 256 KiB coalescing bound.
+const writeBufCap = 64 << 10
+
 // writeLoop encodes responses and writes them with frame coalescing: it
 // keeps appending frames to one buffer while more responses are queued
-// and hands the kernel a single write when the queue is empty.
-func (s *Server) writeLoop(c net.Conn, out <-chan *wire.Response) {
-	var buf, payload []byte
+// and hands the kernel a single write when the queue is empty. Encoded
+// responses return to the connection's arena.
+func (s *Server) writeLoop(c net.Conn, out <-chan *wire.Response, cs *connState) {
+	buf := make([]byte, 0, writeBufCap)
+	payload := make([]byte, 0, 4<<10)
 	for resp := range out {
 		payload = wire.AppendResponse(payload[:0], resp)
+		cs.putResp(resp)
 		buf = wire.AppendFrame(buf[:0], payload)
 		// Coalesce whatever else is already queued.
 		for len(buf) < 256<<10 {
@@ -280,6 +391,7 @@ func (s *Server) writeLoop(c net.Conn, out <-chan *wire.Response) {
 					return
 				}
 				payload = wire.AppendResponse(payload[:0], next)
+				cs.putResp(next)
 				buf = wire.AppendFrame(buf, payload)
 			default:
 				goto flush
@@ -293,6 +405,14 @@ func (s *Server) writeLoop(c net.Conn, out <-chan *wire.Response) {
 			}
 			return
 		}
+		// A snapshot-sized response grows these past any steady-state
+		// need; release the oversized arrays instead of pinning them.
+		if cap(buf) > 4*writeBufCap {
+			buf = make([]byte, 0, writeBufCap)
+		}
+		if cap(payload) > 4*writeBufCap {
+			payload = make([]byte, 0, 4<<10)
+		}
 	}
 }
 
@@ -305,9 +425,8 @@ type batchReq struct {
 
 // readLoop decodes frames into batches and executes them. It returns on
 // any read or protocol error (the connection is then closed).
-func (s *Server) readLoop(c net.Conn, out chan<- *wire.Response) {
+func (s *Server) readLoop(c net.Conn, out chan<- *wire.Response, cs *connState) {
 	br := bufio.NewReaderSize(c, 64<<10)
-	batch := make([]batchReq, 0, s.maxBatch)
 	var frame []byte
 	for {
 		// Block for the head of the next batch.
@@ -316,27 +435,50 @@ func (s *Server) readLoop(c net.Conn, out chan<- *wire.Response) {
 		if err != nil {
 			return
 		}
-		batch = batch[:0]
-		frame, batch = s.appendDecoded(frame, batch, out)
-		// Drain requests that already arrived, without blocking.
-		for len(batch) < s.maxBatch && br.Buffered() >= 4 {
+		cs.batch = cs.batch[:0]
+		frame = s.appendDecoded(cs, frame, out)
+		// Drain requests that already arrived, without blocking: only
+		// frames whose payload is fully buffered are taken — a partially
+		// arrived frame would block ReadFrame mid-batch on a slow peer
+		// while the already-gathered batch sat waiting.
+		for len(cs.batch) < s.maxBatch && frameBuffered(br) {
 			frame, err = wire.ReadFrame(br, frame)
 			if err != nil {
-				s.executeBatch(batch, out)
+				s.executeBatch(cs, out)
 				return
 			}
-			frame, batch = s.appendDecoded(frame, batch, out)
+			frame = s.appendDecoded(cs, frame, out)
 		}
-		s.executeBatch(batch, out)
+		s.executeBatch(cs, out)
 	}
+}
+
+// frameBuffered reports whether br holds one complete frame — the
+// 4-byte length prefix and its full payload — so reading it cannot
+// block. An oversized length also reports true: ReadFrame rejects it
+// from the buffered header alone, without blocking.
+func frameBuffered(br *bufio.Reader) bool {
+	if br.Buffered() < 4 {
+		return false
+	}
+	hdr, err := br.Peek(4)
+	if err != nil {
+		return false
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	if n > wire.MaxFrame {
+		return true
+	}
+	return br.Buffered() >= 4+int(n)
 }
 
 // appendDecoded decodes frame into a new batch slot; malformed requests
 // are answered immediately with StatusBadRequest and not batched.
-func (s *Server) appendDecoded(frame []byte, batch []batchReq, out chan<- *wire.Response) ([]byte, []batchReq) {
+func (s *Server) appendDecoded(cs *connState, frame []byte, out chan<- *wire.Response) []byte {
 	// Reslice over a recycled slot when possible: DecodeRequest resets
 	// every field and reuses the slot's Keys/Args backing arrays, which
 	// is where the per-request allocations would otherwise be.
+	batch := cs.batch
 	if len(batch) < cap(batch) {
 		batch = batch[:len(batch)+1]
 	} else {
@@ -347,8 +489,11 @@ func (s *Server) appendDecoded(frame []byte, batch []batchReq, out chan<- *wire.
 		s.badReqs.Add(1)
 		// A frame too mangled to carry an id gets id 0; the client will
 		// drop it but the stream stays framed.
-		out <- &wire.Response{ID: br.req.ID, Status: wire.StatusBadRequest, Err: err.Error()}
-		return frame, batch[:len(batch)-1]
+		resp := cs.getResp()
+		resp.ID, resp.Status, resp.Err = br.req.ID, wire.StatusBadRequest, err.Error()
+		out <- resp
+		cs.batch = batch[:len(batch)-1]
+		return frame
 	}
 	switch br.req.Op {
 	case wire.OpRead, wire.OpUpdate:
@@ -356,7 +501,8 @@ func (s *Server) appendDecoded(frame []byte, batch []batchReq, out chan<- *wire.
 	default:
 		br.shardI = -1
 	}
-	return frame, batch
+	cs.batch = batch
+	return frame
 }
 
 // executeBatch runs a batch through one acquired handle: single-key
@@ -375,7 +521,8 @@ func (s *Server) appendDecoded(frame []byte, batch []batchReq, out chan<- *wire.
 // responses, and blocking on it while holding a registry slot would let
 // one non-reading connection pin a process id that every other
 // connection (and in-process callers) may be waiting for.
-func (s *Server) executeBatch(batch []batchReq, out chan<- *wire.Response) {
+func (s *Server) executeBatch(cs *connState, out chan<- *wire.Response) {
+	batch := cs.batch
 	if len(batch) == 0 {
 		return
 	}
@@ -390,55 +537,77 @@ func (s *Server) executeBatch(batch []batchReq, out chan<- *wire.Response) {
 		for hi < len(batch) && batch[hi].shardI >= 0 {
 			hi++
 		}
-		run := batch[lo:hi]
-		sort.SliceStable(run, func(i, j int) bool { return run[i].shardI < run[j].shardI })
+		sortRunByShard(batch[lo:hi])
 		lo = hi
 	}
-	resps := make([]*wire.Response, 0, len(batch))
-	var recs []persist.Record
-	var recResp []int // recs[i] belongs to resps[recResp[i]]
-	h := s.m.Acquire()
+	cs.resps = cs.resps[:0]
+	cs.recs = cs.recs[:0]
+	cs.recResp = cs.recResp[:0]
+	if cs.h == nil {
+		cs.h = s.m.Acquire()
+	} else {
+		cs.h.Reacquire()
+	}
+	h := cs.h
 	for i := range batch {
 		var rec *persist.Record
 		if s.persist != nil {
-			recs = append(recs, persist.Record{})
-			rec = &recs[len(recs)-1]
+			cs.recs = append(cs.recs, persist.Record{})
+			rec = &cs.recs[len(cs.recs)-1]
 		}
-		resp := s.execute(h, &batch[i].req, rec)
+		resp := cs.getResp()
+		s.execute(cs, h, &batch[i].req, rec, resp)
 		if rec != nil {
 			if rec.Op == 0 { // not a committed update; nothing to log
-				recs = recs[:len(recs)-1]
+				cs.recs = cs.recs[:len(cs.recs)-1]
 			} else {
-				recResp = append(recResp, len(resps))
+				cs.recResp = append(cs.recResp, len(cs.resps))
 			}
 		}
-		resps = append(resps, resp)
+		cs.resps = append(cs.resps, resp)
 	}
 	h.Release()
 	// Durability happens here: after execution, outside the registry
 	// slot, before the responses flush. The record slices alias the
 	// batch's decode buffers, which stay untouched until the next batch.
-	if len(recs) > 0 {
-		err := s.persist.Append(recs)
+	if len(cs.recs) > 0 {
+		err := s.persist.Append(cs.recs)
 		if err == nil && s.persist.Policy() == persist.SyncAlways {
 			err = s.persist.Sync()
 		}
 		if err != nil {
 			s.logf("server: persistence: %v", err)
+			s.persistErrs.Add(1)
 			if s.persist.Policy() == persist.SyncAlways {
 				// The in-memory commit stands, but the durability the
 				// policy promises does not — fail the acknowledgment
-				// rather than lie about it.
-				for _, ri := range recResp {
-					id := resps[ri].ID
-					resps[ri] = &wire.Response{ID: id, Status: wire.StatusBadRequest,
-						Err: fmt.Sprintf("persistence failure: %v", err)}
+				// rather than lie about it. The conversions count as
+				// BadReqs so the drift is visible in the stats.
+				s.badReqs.Add(uint64(len(cs.recResp)))
+				for _, ri := range cs.recResp {
+					r := cs.resps[ri]
+					r.Status = wire.StatusBadRequest
+					r.Err = fmt.Sprintf("persistence failure: %v", err)
+					r.Attempts, r.Rows, r.Words = 0, 0, 0
+					r.Data = r.Data[:0]
 				}
 			}
 		}
 	}
-	for _, resp := range resps {
+	for _, resp := range cs.resps {
 		out <- resp
+	}
+}
+
+// sortRunByShard stably sorts a run of single-key requests by target
+// shard: an insertion sort, because runs are small (≤ maxBatch), arrival
+// order within a shard must be preserved, and sort.SliceStable's closure
+// would be the hot path's last per-batch allocation.
+func sortRunByShard(run []batchReq) {
+	for i := 1; i < len(run); i++ {
+		for j := i; j > 0 && run[j].shardI < run[j-1].shardI; j-- {
+			run[j], run[j-1] = run[j-1], run[j]
+		}
 	}
 }
 
@@ -473,13 +642,14 @@ func (s *Server) Checkpoint() error {
 	})
 }
 
-// execute runs one request and returns its response. When persistence
-// is on, rec is a scratch Record the durable ops fill in — Seq is drawn
-// inside the merge callback, whose final (committing) run leaves the
-// number that orders the record against every other committed update on
-// its shards; rec.Op stays 0 for non-durable or failed requests.
-func (s *Server) execute(h *shard.MapHandle, req *wire.Request, rec *persist.Record) *wire.Response {
-	resp := &wire.Response{ID: req.ID}
+// execute runs one request, filling resp (an arena response reset by
+// getResp). When persistence is on, rec is a scratch Record the durable
+// ops fill in — Seq is drawn inside the merge callback, whose final
+// (committing) run leaves the number that orders the record against
+// every other committed update on its shards; rec.Op stays 0 for
+// non-durable or failed requests.
+func (s *Server) execute(cs *connState, h *shard.MapHandle, req *wire.Request, rec *persist.Record, resp *wire.Response) {
+	resp.ID = req.ID
 	w := s.m.W()
 	switch req.Op {
 	case wire.OpPing:
@@ -488,37 +658,25 @@ func (s *Server) execute(h *shard.MapHandle, req *wire.Request, rec *persist.Rec
 	case wire.OpRead:
 		s.reads.Add(1)
 		resp.Rows, resp.Words = 1, uint32(w)
-		resp.Data = make([]uint64, w)
-		h.Read(req.Key, resp.Data)
+		h.Read(req.Key, sizedData(resp, w))
 
 	case wire.OpUpdate:
 		s.updates.Add(1)
 		if len(req.Args) != w {
-			return s.fail(resp, "update args have %d words, map width is %d", len(req.Args), w)
+			s.fail(resp, "update args have %d words, map width is %d", len(req.Args), w)
+			return
 		}
 		if req.Mode > wire.ModeSet {
-			return s.fail(resp, "unknown update mode %d", req.Mode)
+			s.fail(resp, "unknown update mode %d", req.Mode)
+			return
 		}
 		resp.Rows, resp.Words = 1, uint32(w)
-		resp.Data = make([]uint64, w)
-		args, mode, dst := req.Args, req.Mode, resp.Data
-		var attempts int
+		cs.args, cs.mode, cs.dst, cs.rec = req.Args, req.Mode, sizedData(resp, w), rec
+		resp.Attempts = uint32(h.Update(req.Key, cs.mergeOne))
 		if rec != nil {
-			st := s.persist
-			attempts = h.Update(req.Key, func(v []uint64) {
-				wire.Merge(v, args, mode)
-				copy(dst, v)
-				rec.Seq = st.NextSeq()
-			})
-			rec.Op, rec.Mode, rec.Key, rec.Args = wire.OpUpdate, mode, req.Key, args
+			rec.Op, rec.Mode, rec.Key, rec.Args = wire.OpUpdate, req.Mode, req.Key, req.Args
 			rec.Shard = s.m.ShardIndex(req.Key)
-		} else {
-			attempts = h.Update(req.Key, func(v []uint64) {
-				wire.Merge(v, args, mode)
-				copy(dst, v)
-			})
 		}
-		resp.Attempts = uint32(attempts)
 
 	case wire.OpSnapshot, wire.OpSnapshotAtomic:
 		s.snapshots.Add(1)
@@ -528,13 +686,17 @@ func (s *Server) execute(h *shard.MapHandle, req *wire.Request, rec *persist.Rec
 		// clear error instead (llscd also refuses the geometry at
 		// startup).
 		if !SnapshotFits(k, w) {
-			return s.fail(resp, "snapshot of %d×%d words exceeds the %d-byte frame limit", k, w, wire.MaxFrame)
+			s.fail(resp, "snapshot of %d×%d words exceeds the %d-byte frame limit", k, w, wire.MaxFrame)
+			return
 		}
 		resp.Rows, resp.Words = uint32(k), uint32(w)
-		resp.Data = make([]uint64, k*w)
-		rows := make([][]uint64, k)
+		data := sizedData(resp, k*w)
+		if cap(cs.rows) < k {
+			cs.rows = make([][]uint64, k)
+		}
+		rows := cs.rows[:k]
 		for i := range rows {
-			rows[i] = resp.Data[i*w : (i+1)*w]
+			rows[i] = data[i*w : (i+1)*w]
 		}
 		if req.Op == wire.OpSnapshotAtomic {
 			resp.Attempts = uint32(h.SnapshotAtomic(rows))
@@ -546,50 +708,34 @@ func (s *Server) execute(h *shard.MapHandle, req *wire.Request, rec *persist.Rec
 		s.multis.Add(1)
 		nk := len(req.Keys)
 		if len(req.Args) != nk*w {
-			return s.fail(resp, "updatemulti args have %d words, want %d keys × width %d", len(req.Args), nk, w)
+			s.fail(resp, "updatemulti args have %d words, want %d keys × width %d", len(req.Args), nk, w)
+			return
 		}
 		if req.Mode > wire.ModeSet {
-			return s.fail(resp, "unknown update mode %d", req.Mode)
+			s.fail(resp, "unknown update mode %d", req.Mode)
+			return
 		}
 		resp.Rows, resp.Words = uint32(nk), uint32(w)
-		resp.Data = make([]uint64, nk*w)
-		args, mode, dst := req.Args, req.Mode, resp.Data
-		var attempts int
+		cs.args, cs.mode, cs.dst, cs.rec, cs.w = req.Args, req.Mode, sizedData(resp, nk*w), rec, w
+		resp.Attempts = uint32(h.UpdateMulti(req.Keys, cs.mergeMulti))
 		if rec != nil {
-			st := s.persist
-			attempts = h.UpdateMulti(req.Keys, func(vals [][]uint64) {
-				for i, v := range vals {
-					wire.Merge(v, args[i*w:(i+1)*w], mode)
-					copy(dst[i*w:(i+1)*w], v)
-				}
-				rec.Seq = st.NextSeq()
-			})
-			rec.Op, rec.Mode, rec.Keys, rec.Args = wire.OpUpdateMulti, mode, req.Keys, args
+			rec.Op, rec.Mode, rec.Keys, rec.Args = wire.OpUpdateMulti, req.Mode, req.Keys, req.Args
 			rec.Shard = s.m.ShardIndex(req.Keys[0])
 			for _, k := range req.Keys[1:] {
 				if i := s.m.ShardIndex(k); i < rec.Shard {
 					rec.Shard = i
 				}
 			}
-		} else {
-			attempts = h.UpdateMulti(req.Keys, func(vals [][]uint64) {
-				for i, v := range vals {
-					wire.Merge(v, args[i*w:(i+1)*w], mode)
-					copy(dst[i*w:(i+1)*w], v)
-				}
-			})
 		}
-		resp.Attempts = uint32(attempts)
 
 	case wire.OpStats:
 		st := s.Stats()
-		resp.Data = st.Append(nil)
+		resp.Data = st.Append(resp.Data[:0])
 		resp.Rows, resp.Words = 1, uint32(len(resp.Data))
 
 	default:
-		return s.fail(resp, "unknown opcode %d", uint8(req.Op))
+		s.fail(resp, "unknown opcode %d", uint8(req.Op))
 	}
-	return resp
 }
 
 // SnapshotFits reports whether a K×W snapshot response fits in one wire
@@ -600,11 +746,11 @@ func SnapshotFits(k, w int) bool {
 	return k*w <= (wire.MaxFrame-respHeader)/8
 }
 
-// fail marks resp as a StatusBadRequest response and returns it.
-func (s *Server) fail(resp *wire.Response, format string, args ...any) *wire.Response {
+// fail marks resp as a StatusBadRequest response.
+func (s *Server) fail(resp *wire.Response, format string, args ...any) {
 	s.badReqs.Add(1)
 	resp.Status = wire.StatusBadRequest
 	resp.Err = fmt.Sprintf(format, args...)
-	resp.Rows, resp.Words, resp.Data = 0, 0, nil
-	return resp
+	resp.Attempts, resp.Rows, resp.Words = 0, 0, 0
+	resp.Data = resp.Data[:0]
 }

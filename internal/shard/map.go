@@ -275,6 +275,20 @@ func (h *MapHandle) Release() {
 	h.m.reg.Release(h.p)
 }
 
+// Reacquire re-arms a released handle with a freshly acquired process
+// id, reusing its scratch buffers — the allocation-free counterpart of
+// Map.Acquire for callers that hold a slot only in bursts but keep the
+// handle across them (the serving layer's batch executor acquires per
+// batch; without this it would allocate a handle per batch). Reacquiring
+// a handle that is still live panics: that would leak its process id.
+func (h *MapHandle) Reacquire() {
+	if !h.released {
+		panic("shard: Reacquire of a live MapHandle")
+	}
+	h.p = h.m.reg.Acquire()
+	h.released = false
+}
+
 // live panics on use-after-Release: a released id may already belong to
 // another goroutine, and two goroutines driving one process id void
 // every per-process guarantee in the construction. The check is one

@@ -171,3 +171,48 @@ func TestTryAcquireStorm(t *testing.T) {
 		t.Fatalf("InUse() = %d after storm, want 0", got)
 	}
 }
+
+func TestMapHandleReacquire(t *testing.T) {
+	m, err := NewMap(4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := m.Acquire()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Reacquire of a live handle did not panic")
+			}
+		}()
+		h.Reacquire()
+	}()
+	h.Release()
+	h.Reacquire()
+	// The re-armed handle must be fully usable again.
+	if n := h.Update(7, func(v []uint64) { v[0]++ }); n < 1 {
+		t.Fatalf("Update after Reacquire: %d attempts", n)
+	}
+	dst := make([]uint64, m.W())
+	h.Read(7, dst)
+	if dst[0] != 1 {
+		t.Fatalf("Read after Reacquire = %v, want [1 0]", dst)
+	}
+	// Release/Reacquire is the serving layer's per-batch cycle; it must
+	// not allocate.
+	allocs := testing.AllocsPerRun(100, func() {
+		h.Release()
+		h.Reacquire()
+	})
+	if allocs != 0 {
+		t.Errorf("Release+Reacquire: %v allocs, want 0", allocs)
+	}
+	h.Release()
+	// A released-then-reacquired-elsewhere id stays exclusive: both slots
+	// can be out at once.
+	h1, h2 := m.Acquire(), m.Acquire()
+	if h1.Process() == h2.Process() {
+		t.Fatal("two live handles share a process id")
+	}
+	h1.Release()
+	h2.Release()
+}

@@ -1,0 +1,121 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The serving hot path budgets zero allocations per request once its
+// buffers are warm: encode and decode reuse the caller's backing arrays
+// (growBytes/appendWords grow them at most once), and ReadFrame hands
+// the same payload buffer back and forth. These assertions are the
+// wire-level half of the E13 allocation gate; the server-side half lives
+// in internal/server.
+
+func TestAppendDecodeRequestZeroAlloc(t *testing.T) {
+	req := &Request{ID: 42, Op: OpUpdate, Mode: ModeAdd, Key: 7, Args: []uint64{1, 2, 3, 4}}
+	var payload []byte
+	var dec Request
+	// Warm the buffers once; steady state must not allocate.
+	payload = AppendRequest(payload[:0], req)
+	if err := DecodeRequest(&dec, payload); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		payload = AppendRequest(payload[:0], req)
+		if err := DecodeRequest(&dec, payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("request encode+decode: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestAppendDecodeRequestMultiZeroAlloc(t *testing.T) {
+	req := &Request{ID: 42, Op: OpUpdateMulti, Mode: ModeSet,
+		Keys: []uint64{1, 2, 3}, Args: []uint64{1, 2, 3, 4, 5, 6}}
+	var payload []byte
+	var dec Request
+	payload = AppendRequest(payload[:0], req)
+	if err := DecodeRequest(&dec, payload); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		payload = AppendRequest(payload[:0], req)
+		if err := DecodeRequest(&dec, payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("updatemulti encode+decode: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestAppendDecodeResponseZeroAlloc(t *testing.T) {
+	resp := &Response{ID: 42, Status: StatusOK, Attempts: 1, Rows: 2, Words: 2,
+		Data: []uint64{1, 2, 3, 4}}
+	var payload []byte
+	var dec Response
+	payload = AppendResponse(payload[:0], resp)
+	if err := DecodeResponse(&dec, payload); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		payload = AppendResponse(payload[:0], resp)
+		if err := DecodeResponse(&dec, payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("response encode+decode: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestReadFrameZeroAlloc(t *testing.T) {
+	frame := AppendFrame(nil, []byte("0123456789abcdef"))
+	r := bytes.NewReader(frame)
+	buf := make([]byte, 0, 512)
+	var err error
+	allocs := testing.AllocsPerRun(200, func() {
+		r.Reset(frame)
+		buf, err = ReadFrame(r, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ReadFrame: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestReadFrameShrinksOversizedBuffer(t *testing.T) {
+	// A jumbo frame grows the buffer past FrameBufCap; the next small
+	// frame must release the oversized backing array instead of pinning
+	// MaxFrame-scale memory for the connection's lifetime.
+	var stream bytes.Buffer
+	big := make([]byte, 1<<20)
+	if err := WriteFrame(&stream, big); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&stream, []byte("small")); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := ReadFrame(&stream, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap(buf) < len(big) {
+		t.Fatalf("jumbo frame buffer cap %d, want >= %d", cap(buf), len(big))
+	}
+	buf, err = ReadFrame(&stream, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "small" {
+		t.Fatalf("payload after shrink = %q, want %q", buf, "small")
+	}
+	if cap(buf) > FrameBufCap {
+		t.Fatalf("buffer cap %d still oversized after small frame, want <= %d", cap(buf), FrameBufCap)
+	}
+}

@@ -189,7 +189,19 @@ func (r *Response) Row(i int) []uint64 {
 }
 
 // AppendRequest appends req's payload (without the frame length) to dst.
+// The payload is sized up front and the words bulk-encoded, so a dst
+// with enough capacity (a recycled encode buffer) costs zero allocations.
 func AppendRequest(dst []byte, req *Request) []byte {
+	size := 9
+	switch req.Op {
+	case OpRead:
+		size += 8
+	case OpUpdate:
+		size += 1 + 8 + 8*len(req.Args)
+	case OpUpdateMulti:
+		size += 1 + 2 + 8*(len(req.Keys)+len(req.Args))
+	}
+	dst = growBytes(dst, size)
 	dst = binary.LittleEndian.AppendUint64(dst, req.ID)
 	dst = append(dst, byte(req.Op))
 	switch req.Op {
@@ -198,18 +210,12 @@ func AppendRequest(dst []byte, req *Request) []byte {
 	case OpUpdate:
 		dst = append(dst, byte(req.Mode))
 		dst = binary.LittleEndian.AppendUint64(dst, req.Key)
-		for _, a := range req.Args {
-			dst = binary.LittleEndian.AppendUint64(dst, a)
-		}
+		dst = appendUint64s(dst, req.Args)
 	case OpUpdateMulti:
 		dst = append(dst, byte(req.Mode))
 		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(req.Keys)))
-		for _, k := range req.Keys {
-			dst = binary.LittleEndian.AppendUint64(dst, k)
-		}
-		for _, a := range req.Args {
-			dst = binary.LittleEndian.AppendUint64(dst, a)
-		}
+		dst = appendUint64s(dst, req.Keys)
+		dst = appendUint64s(dst, req.Args)
 	}
 	return dst
 }
@@ -266,7 +272,9 @@ func DecodeRequest(req *Request, payload []byte) error {
 	return nil
 }
 
-// AppendResponse appends resp's payload (without the frame length) to dst.
+// AppendResponse appends resp's payload (without the frame length) to
+// dst. Like AppendRequest it pre-sizes and bulk-encodes: with a recycled
+// dst this is the server's per-response cost, and it must not allocate.
 func AppendResponse(dst []byte, resp *Response) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, resp.ID)
 	dst = append(dst, byte(resp.Status))
@@ -278,13 +286,11 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(msg)))
 		return append(dst, msg...)
 	}
+	dst = growBytes(dst, 12+8*len(resp.Data))
 	dst = binary.LittleEndian.AppendUint32(dst, resp.Attempts)
 	dst = binary.LittleEndian.AppendUint32(dst, resp.Rows)
 	dst = binary.LittleEndian.AppendUint32(dst, resp.Words)
-	for _, d := range resp.Data {
-		dst = binary.LittleEndian.AppendUint64(dst, d)
-	}
-	return dst
+	return appendUint64s(dst, resp.Data)
 }
 
 // DecodeResponse decodes a response payload into resp, reusing resp's
@@ -325,10 +331,39 @@ func DecodeResponse(resp *Response, payload []byte) error {
 }
 
 // appendWords appends b (a multiple of 8 bytes) to dst as little-endian
-// uint64s.
+// uint64s, growing dst at most once so a pre-sized destination (a reused
+// Request/Response backing array) decodes without allocating.
 func appendWords(dst []uint64, b []byte) []uint64 {
-	for ; len(b) >= 8; b = b[8:] {
-		dst = append(dst, binary.LittleEndian.Uint64(b))
+	n := len(b) / 8
+	if need := len(dst) + n; cap(dst) < need {
+		grown := make([]uint64, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return dst
+}
+
+// growBytes returns dst with capacity for at least n more bytes,
+// reallocating at most once up front so the appends that follow cannot.
+func growBytes(dst []byte, n int) []byte {
+	if cap(dst)-len(dst) >= n {
+		return dst
+	}
+	grown := make([]byte, len(dst), len(dst)+n)
+	copy(grown, dst)
+	return grown
+}
+
+// appendUint64s bulk-encodes words as little-endian bytes: one capacity
+// check, then PutUint64 into pre-sized space instead of per-word appends.
+func appendUint64s(dst []byte, words []uint64) []byte {
+	n := len(dst)
+	dst = growBytes(dst, 8*len(words))[:n+8*len(words)]
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(dst[n+8*i:], w)
 	}
 	return dst
 }
@@ -354,19 +389,39 @@ func AppendFrame(dst, payload []byte) []byte {
 	return append(dst, payload...)
 }
 
+// FrameBufCap is the soft cap on the reusable buffer ReadFrame hands
+// back: a jumbo frame (up to MaxFrame = 8 MiB) may grow the buffer past
+// it, but the next small frame releases the oversized backing array
+// instead of pinning MaxFrame bytes per connection for its lifetime.
+const FrameBufCap = 64 << 10
+
 // ReadFrame reads one frame into buf (growing it as needed) and returns
-// the payload (a prefix of the returned buffer).
+// the payload (a prefix of the returned buffer). Callers pass the
+// returned buffer back in once they are done with the payload; buffers
+// left oversized by a rare jumbo frame shrink back to FrameBufCap.
 func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	// The header is read into the reusable buffer itself: a stack array
+	// would escape through the io.Reader interface and cost an allocation
+	// per frame.
+	if cap(buf) < 4 {
+		buf = make([]byte, 512)
+	}
+	if _, err := io.ReadFull(r, buf[:4]); err != nil {
 		return buf, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
+	n := int(binary.LittleEndian.Uint32(buf[:4]))
 	if n > MaxFrame {
 		return buf, fmt.Errorf("wire: incoming frame of %d bytes exceeds MaxFrame %d", n, MaxFrame)
 	}
-	if cap(buf) < int(n) {
-		buf = make([]byte, n)
+	switch {
+	case cap(buf) < n:
+		c := n
+		if c < 512 {
+			c = 512
+		}
+		buf = make([]byte, c)
+	case cap(buf) > FrameBufCap && n <= FrameBufCap:
+		buf = make([]byte, FrameBufCap)
 	}
 	buf = buf[:n]
 	if _, err := io.ReadFull(r, buf); err != nil {
@@ -392,9 +447,18 @@ type ServerStats struct {
 	Multis     uint64 // UpdateMulti
 	Batches    uint64 // handle-acquire batches executed
 	BadReqs    uint64 // requests rejected with a non-OK status
+	// PersistErrs counts persistence failures: append or group-commit
+	// fsync rounds that returned an error. Under fsync policy "always"
+	// each such round also converts its batch's committed updates into
+	// error responses (counted in BadReqs); under the other policies the
+	// commit is acked and this counter is the only sign durability is
+	// degraded — alert on it.
+	PersistErrs uint64
 }
 
-// statsWords is the wire width of ServerStats.
+// statsWords is the minimum wire width of ServerStats; PersistErrs rides
+// as an optional 13th word so new clients still decode rows from older
+// servers (and, per the tolerant-decode rule above, vice versa).
 const statsWords = 12
 
 // Append encodes s in field order.
@@ -403,7 +467,7 @@ func (s *ServerStats) Append(dst []uint64) []uint64 {
 		s.Shards, s.Slots, s.Words,
 		s.ConnsTotal, s.ConnsOpen,
 		s.Reqs, s.Updates, s.Reads, s.Snapshots, s.Multis,
-		s.Batches, s.BadReqs)
+		s.Batches, s.BadReqs, s.PersistErrs)
 }
 
 // DecodeStats decodes a stats row previously produced by Append.
@@ -411,10 +475,14 @@ func DecodeStats(row []uint64) (ServerStats, error) {
 	if len(row) < statsWords {
 		return ServerStats{}, fmt.Errorf("wire: stats row has %d words, want >= %d", len(row), statsWords)
 	}
-	return ServerStats{
+	st := ServerStats{
 		Shards: row[0], Slots: row[1], Words: row[2],
 		ConnsTotal: row[3], ConnsOpen: row[4],
 		Reqs: row[5], Updates: row[6], Reads: row[7], Snapshots: row[8], Multis: row[9],
 		Batches: row[10], BadReqs: row[11],
-	}, nil
+	}
+	if len(row) > 12 {
+		st.PersistErrs = row[12]
+	}
+	return st, nil
 }

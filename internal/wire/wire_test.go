@@ -159,7 +159,7 @@ func TestStatsRoundTrip(t *testing.T) {
 		Shards: 8, Slots: 4, Words: 2,
 		ConnsTotal: 10, ConnsOpen: 3,
 		Reqs: 100, Updates: 50, Reads: 30, Snapshots: 5, Multis: 15,
-		Batches: 40, BadReqs: 1,
+		Batches: 40, BadReqs: 1, PersistErrs: 2,
 	}
 	row := want.Append(nil)
 	got, err := DecodeStats(row)
