@@ -8,7 +8,7 @@
 // Usage:
 //
 //	llscd [-addr 127.0.0.1:7787] [-shards 16] [-slots 16] [-words 2]
-//	      [-impl jp] [-maxbatch 64] [-stats 0] [-v]
+//	      [-impl jp] [-maxbatch 64] [-stats 0] [-v] [-admin ""]
 //	      [-dir ""] [-fsync everysec] [-checkpoint-interval 1m]
 //
 // With -dir the daemon is durable: committed updates are appended to
@@ -19,17 +19,29 @@
 // docs/OPERATIONS.md for the per-policy durability contract. Without
 // -dir the map is purely in-memory, as before.
 //
+// With -admin ADDR the daemon serves an admin HTTP plane on ADDR (port
+// 0 picks a free port; the bound address is printed as "llscd: admin
+// on ..."): Prometheus-text metrics on /metrics, a JSON snapshot with
+// histogram quantiles on /statsz, a liveness probe on /healthz (503
+// once the durability layer has a sticky disk failure), and the
+// standard Go profiler under /debug/pprof/. See docs/OBSERVABILITY.md
+// for the metric catalog.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: it stops
 // accepting, closes open connections, waits for the per-connection
 // goroutines to drain, and (with -dir) writes a final checkpoint. With
 // -stats D it prints one counters line every D (expvar-style:
-// cumulative totals, not rates).
+// cumulative totals, not rates, plus p50/p99 service latency and —
+// when durable — the p99 group-commit fsync time, from the same
+// histograms /metrics exposes).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -37,6 +49,7 @@ import (
 	"time"
 
 	"mwllsc/internal/impls"
+	"mwllsc/internal/obs"
 	"mwllsc/internal/persist"
 	"mwllsc/internal/server"
 )
@@ -57,7 +70,8 @@ func run(args []string, stop <-chan os.Signal, stdout, stderr io.Writer) int {
 		words    = fs.Int("words", 2, "value width per shard in 64-bit words (W)")
 		impl     = fs.String("impl", "jp", "implementation backing each shard (one of "+strings.Join(impls.Names(), ",")+")")
 		maxBatch = fs.Int("maxbatch", 64, "max pipelined requests executed per registry acquisition")
-		statsDur = fs.Duration("stats", 0, "print a cumulative stats line this often (0 = never)")
+		statsDur = fs.Duration("stats", 0, "print a cumulative stats + latency line this often (0 = never)")
+		admin    = fs.String("admin", "", "admin HTTP listen address: /metrics, /statsz, /healthz, /debug/pprof (empty = disabled, port 0 picks a free port)")
 		verbose  = fs.Bool("v", false, "log per-connection errors")
 		dir      = fs.String("dir", "", "data directory for the durability layer (empty = in-memory only)")
 		fsyncStr = fs.String("fsync", "everysec", "log fsync policy: none, everysec or always")
@@ -76,7 +90,13 @@ func run(args []string, stop <-chan os.Signal, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "llscd: %v\n", err)
 		return 1
 	}
-	opts := []server.Option{server.WithMaxBatch(*maxBatch)}
+	// Histograms are always on in the daemon: E14 prices them at well
+	// under the gate's 3% and a daemon you cannot ask for its latency
+	// distribution is not operable.
+	opts := []server.Option{
+		server.WithMaxBatch(*maxBatch),
+		server.WithMetrics(server.NewMetrics(*slots)),
+	}
 	if *verbose {
 		opts = append(opts, server.WithLogf(func(format string, a ...any) {
 			fmt.Fprintf(stderr, format+"\n", a...)
@@ -113,6 +133,35 @@ func run(args []string, stop <-chan os.Signal, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "llscd: serving K=%d shards × W=%d words (N=%d slots, impl=%s, maxbatch=%d, %s) on %s\n",
 		*shards, *words, *slots, *impl, *maxBatch, durable, bound)
 
+	if *admin != "" {
+		reg := obs.NewRegistry()
+		s.RegisterMetrics(reg)
+		healthz := func() error { return nil }
+		if st != nil {
+			healthz = st.Err
+		}
+		al, err := net.Listen("tcp", *admin)
+		if err != nil {
+			fmt.Fprintf(stderr, "llscd: admin: %v\n", err)
+			return 1
+		}
+		adminSrv := &http.Server{Handler: obs.NewAdminMux(reg, healthz)}
+		adminDone := make(chan struct{})
+		go func() {
+			defer close(adminDone)
+			if err := adminSrv.Serve(al); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(stderr, "llscd: admin: %v\n", err)
+			}
+		}()
+		defer func() {
+			// Close (not Shutdown): admin requests are cheap and
+			// stateless, nothing is worth delaying process exit for.
+			adminSrv.Close()
+			<-adminDone
+		}()
+		fmt.Fprintf(stdout, "llscd: admin on %s\n", al.Addr())
+	}
+
 	served := make(chan error, 1)
 	go func() { served <- s.Serve() }()
 
@@ -134,13 +183,14 @@ func run(args []string, stop <-chan os.Signal, stdout, stderr io.Writer) int {
 		select {
 		case <-tick:
 			sv := s.Stats()
-			fmt.Fprintf(stdout, "llscd: conns=%d/%d reqs=%d upd=%d read=%d snap=%d multi=%d batches=%d avgbatch=%.1f badreq=%d persisterr=%d\n",
+			fmt.Fprintf(stdout, "llscd: conns=%d/%d reqs=%d upd=%d read=%d snap=%d multi=%d batches=%d avgbatch=%.1f badreq=%d persisterr=%d lat p50=%s p99=%s\n",
 				sv.ConnsOpen, sv.ConnsTotal, sv.Reqs, sv.Updates, sv.Reads, sv.Snapshots, sv.Multis,
-				sv.Batches, avg(sv.Reqs, sv.Batches), sv.BadReqs, sv.PersistErrs)
+				sv.Batches, avg(sv.Reqs, sv.Batches), sv.BadReqs, sv.PersistErrs,
+				time.Duration(sv.LatP50), time.Duration(sv.LatP99))
 			if st != nil {
 				ps := st.Stats()
-				fmt.Fprintf(stdout, "llscd: persist records=%d bytes=%d syncs=%d ckpts=%d seq=%d\n",
-					ps.Records, ps.Bytes, ps.Syncs, ps.Checkpoints, ps.Seq)
+				fmt.Fprintf(stdout, "llscd: persist records=%d bytes=%d syncs=%d ckpts=%d seq=%d fsync p99=%s\n",
+					ps.Records, ps.Bytes, ps.Syncs, ps.Checkpoints, ps.Seq, time.Duration(sv.FsyncP99))
 			}
 		case <-ckptTick:
 			if err := s.Checkpoint(); err != nil {

@@ -9,10 +9,13 @@
 //	llscload [-addr host:port] [-conns 4] [-workers 64] [-dur 2s]
 //	         [-shards 16] [-slots 16] [-words 2] [-maxbatch 64] [-json out.json]
 //
-// It reports aggregate throughput, p50/p99 latency and the server's
-// average batch size (when the target exposes stats), in the same table
-// and JSON formats as llscbench, so runs slot into the BENCH_*.json
-// trajectory.
+// It reports aggregate throughput, client-side p50/p99 latency, the
+// server-side batch-execute p50/p99 from the target's latency
+// histograms (zero against servers that predate them), and the
+// server's average batch size, in the same table and JSON formats as
+// llscbench, so runs slot into the BENCH_*.json trajectory. The gap
+// between the client and server columns is the wire, syscall and queue
+// time.
 package main
 
 import (
@@ -79,10 +82,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ID:    "e11",
 		Title: fmt.Sprintf("llscload: closed-loop serving load against %s (%v)", target, *dur),
 		Note:  "one Add per round trip per worker; workers pipeline through the shared connection pool.",
-		Cols:  []string{"conns", "inflight", "ops", "ops/s", "p50 us", "p99 us", "avg batch"},
+		Cols:  []string{"conns", "inflight", "ops", "ops/s", "p50 us", "p99 us", "srv p50 us", "srv p99 us", "avg batch"},
 	}
 	t.AddRow(*conns, *workers, res.Ops, res.OpsPerSec,
-		float64(res.P50.Nanoseconds())/1e3, float64(res.P99.Nanoseconds())/1e3, res.AvgBatch)
+		float64(res.P50.Nanoseconds())/1e3, float64(res.P99.Nanoseconds())/1e3,
+		float64(res.SrvP50.Nanoseconds())/1e3, float64(res.SrvP99.Nanoseconds())/1e3, res.AvgBatch)
 
 	jsonOnly := *jsonOut == "-"
 	if !jsonOnly {

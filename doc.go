@@ -152,6 +152,28 @@
 // disaster recovery — live in docs/OPERATIONS.md; the E12 experiment
 // (cmd/llscbench -e e12) prices the fsync-policy spectrum.
 //
+// # Observability
+//
+// The serving daemon is instrumented without giving back what the
+// zero-allocation hot path bought (internal/obs). Request counters
+// are striped by registry slot across 128-byte-aligned stripes — the
+// batch executor bumps only the cache lines of the slot it already
+// holds, so no shared line is written per request — and latency is
+// recorded in lock-free log-bucketed histograms (service latency,
+// batch size, update attempts, persistence append and fsync times)
+// whose quantiles are exact to within a factor of two. With -admin
+// the daemon serves Prometheus text on /metrics, a JSON quantile
+// snapshot on /statsz, a liveness probe on /healthz and the Go
+// profiler under /debug/pprof/; the Stats wire opcode (Client.Stats)
+// carries the same counter totals plus p50/p99/p999 service latency
+// and fsync p99 as optional trailing words old clients ignore. Every
+// surface folds the same striped banks, so they never disagree. The
+// E13 allocation gate runs with observability enabled, and the E14
+// experiment (cmd/llscbench -e e14) prices the histograms against a
+// server without them — the delta sits inside measurement noise,
+// with a documented ceiling of 3%. The metric catalog and design
+// notes live in docs/OBSERVABILITY.md.
+//
 // # Substrates
 //
 // The paper assumes hardware single-word LL/SC. On Go's sync/atomic this

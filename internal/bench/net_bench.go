@@ -22,7 +22,11 @@ func StartLoopbackServer(k, n, w, maxBatch int) (*server.Server, string, error) 
 	if err != nil {
 		return nil, "", err
 	}
-	s := server.New(m, server.WithMaxBatch(maxBatch))
+	// Metrics on, matching the daemon's always-on configuration: the
+	// numbers the serving benchmarks record are the numbers production
+	// pays, and llscload's server-side latency columns need the
+	// histograms populated.
+	s := server.New(m, server.WithMaxBatch(maxBatch), server.WithMetrics(server.NewMetrics(n)))
 	addr, err := s.Listen("127.0.0.1:0")
 	if err != nil {
 		return nil, "", err
@@ -38,6 +42,8 @@ type NetLoadResult struct {
 	P50       time.Duration // median request latency
 	P99       time.Duration // tail request latency
 	AvgBatch  float64       // server-side requests per registry acquisition (0 if unknown)
+	SrvP50    time.Duration // server-side batch-execute latency p50 (0 if the server has no histograms)
+	SrvP99    time.Duration // server-side batch-execute latency p99 (0 if unknown)
 }
 
 // latencySamples bounds per-worker latency recording so long runs do
@@ -135,6 +141,11 @@ func NetLoadClosedLoop(addr string, conns, workers, w int, dur time.Duration) (N
 		if db := after.Batches - before.Batches; db > 0 {
 			res.AvgBatch = float64(after.Reqs-before.Reqs) / float64(db)
 		}
+		// Cumulative quantiles, not windowed — fine for a loadgen run
+		// against a fresh or steady-state server, and zero when the
+		// target predates the latency words (tolerant decode).
+		res.SrvP50 = time.Duration(after.LatP50)
+		res.SrvP99 = time.Duration(after.LatP99)
 	}
 	return res, nil
 }

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"mwllsc/internal/server"
+	"mwllsc/internal/shard"
+)
+
+// E14ObsOverhead prices the observability layer on the serving hot
+// path: the same closed-loop loopback load as E11, run back to back
+// against a server without latency histograms ("off") and one with
+// them ("on", the daemon's always-on configuration). The striped
+// counters are part of the server in both rows — they replaced the
+// shared atomics outright — so the delta isolates what the gated part
+// costs: the per-batch time.Now() pair plus three histogram ObserveN
+// calls. docs/OBSERVABILITY.md records the budget: the "on" rows must
+// hold within the gate's throughput bands of "off", i.e. well under a
+// 3% median loss; both row sets are gated against the baseline by
+// cmd/llscgate so neither the layer nor its bypass regresses silently.
+func E14ObsOverhead(o Options) (*Table, error) {
+	o = o.withDefaults()
+	const (
+		k        = 16
+		w        = 2
+		maxBatch = 64
+		conns    = 4
+		perConn  = 8
+	)
+
+	t := &Table{
+		ID: "e14",
+		Title: fmt.Sprintf("E14: observability overhead on the serving path (K=%d, W=%d, conns=%d, inflight=%d, %v/point)",
+			k, w, conns, conns*perConn, o.Dur),
+		Note: "closed-loop loopback Add load, as E11; obs=off is a server without latency histograms, " +
+			"obs=on the daemon's always-on configuration. Striped counters run in both. " +
+			"srv p99 is the server's own batch-execute histogram (0 when off).",
+		Cols: []string{"procs", "obs", "ops/s", "p50 us", "p99 us", "srv p99 us"},
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0)) // restore the ambient setting
+	for _, procs := range o.Procs {
+		runtime.GOMAXPROCS(procs)
+		for _, mode := range []struct {
+			label string
+			on    bool
+		}{{"off", false}, {"on", true}} {
+			// A fresh server per point, as in E11: no cross-point state.
+			err := func() error {
+				m, err := shard.NewMap(k, conns+2, w)
+				if err != nil {
+					return err
+				}
+				opts := []server.Option{server.WithMaxBatch(maxBatch)}
+				if mode.on {
+					opts = append(opts, server.WithMetrics(server.NewMetrics(m.N())))
+				}
+				s := server.New(m, opts...)
+				addr, err := s.Listen("127.0.0.1:0")
+				if err != nil {
+					return err
+				}
+				go s.Serve()
+				defer s.Close()
+				res, err := NetLoadClosedLoop(addr.String(), conns, conns*perConn, w, o.Dur)
+				if err != nil {
+					return err
+				}
+				t.AddRow(procs, mode.label, res.OpsPerSec,
+					float64(res.P50.Nanoseconds())/1e3, float64(res.P99.Nanoseconds())/1e3,
+					float64(res.SrvP99.Nanoseconds())/1e3)
+				return nil
+			}()
+			if err != nil {
+				return nil, fmt.Errorf("E14 procs=%d obs=%s: %w", procs, mode.label, err)
+			}
+		}
+	}
+	return t, nil
+}

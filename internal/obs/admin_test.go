@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s body: %v", path, err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestAdminMux(t *testing.T) {
+	reg, _ := testRegistry()
+	srv := httptest.NewServer(NewAdminMux(reg, nil))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != 200 || !strings.Contains(body, "llscd_requests_total 42") {
+		t.Errorf("/metrics: code=%d body=%q", code, body)
+	}
+	code, body = get(t, srv, "/statsz")
+	if code != 200 || !strings.Contains(body, "\"llscd_request_latency_seconds\"") {
+		t.Errorf("/statsz: code=%d body=%q", code, body)
+	}
+	code, body = get(t, srv, "/healthz")
+	if code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz: code=%d body=%q", code, body)
+	}
+	code, body = get(t, srv, "/debug/pprof/cmdline")
+	if code != 200 {
+		t.Errorf("/debug/pprof/cmdline: code=%d body=%q", code, body)
+	}
+	code, body = get(t, srv, "/debug/pprof/goroutine?debug=1")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/goroutine: code=%d", code)
+	}
+}
+
+func TestAdminHealthzUnhealthy(t *testing.T) {
+	reg := NewRegistry()
+	srv := httptest.NewServer(NewAdminMux(reg, func() error { return errors.New("log device on fire") }))
+	defer srv.Close()
+	code, body := get(t, srv, "/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "log device on fire") {
+		t.Errorf("/healthz: code=%d body=%q, want 503 with cause", code, body)
+	}
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"unsafe"
+)
+
+// NumBuckets is the fixed bucket count of every Histogram: bucket 0
+// holds exactly the value 0 and bucket b (1..64) holds values v with
+// bits.Len64(v) == b, i.e. the half-open power-of-two range
+// [2^(b-1), 2^b). Log bucketing costs one bits.Len64 per observation,
+// needs no configuration, and bounds the relative quantile error at
+// 2x — plenty for latency distributions whose interesting structure
+// spans six decades.
+const NumBuckets = 65
+
+// histWords is the per-stripe footprint: NumBuckets bucket counters
+// plus one sum word, padded up to a stripeAlign multiple.
+const histWords = (NumBuckets + 1 + stripeWords - 1) / stripeWords * stripeWords
+
+// Histogram is a lock-free log-bucketed histogram striped like
+// Counters: each writer stripe owns cache-line-padded buckets, so
+// concurrent Observe calls from different registry slots never share
+// a line. Observe is two atomic adds and allocates nothing.
+type Histogram struct {
+	words   []atomic.Uint64
+	stripes int
+}
+
+// NewHistogram builds a histogram with the given stripe count
+// (raised to 1 if below).
+func NewHistogram(stripes int) *Histogram {
+	if stripes < 1 {
+		stripes = 1
+	}
+	return &Histogram{words: alignedWords(stripes * histWords), stripes: stripes}
+}
+
+// Stripes returns the number of stripes.
+func (h *Histogram) Stripes() int { return h.stripes }
+
+// Observe records one value on the given stripe. Out-of-range
+// stripes fall back to stripe 0.
+func (h *Histogram) Observe(stripe int, v uint64) { h.ObserveN(stripe, v, 1) }
+
+// ObserveN records n identical observations of v in one pair of
+// atomic adds — the batch executor stamps time once per batch and
+// attributes the window to every request in it.
+func (h *Histogram) ObserveN(stripe int, v, n uint64) {
+	if uint(stripe) >= uint(h.stripes) {
+		stripe = 0
+	}
+	base := stripe * histWords
+	h.words[base+bits.Len64(v)].Add(n)
+	h.words[base+NumBuckets].Add(v * n)
+}
+
+// stripeAddr returns the address of the stripe's first word, for the
+// alignment test.
+func (h *Histogram) stripeAddr(stripe int) uintptr {
+	return uintptr(unsafe.Pointer(&h.words[stripe*histWords]))
+}
+
+// HistSnapshot is a point-in-time cross-stripe fold of a Histogram —
+// a value type so taking one allocates nothing.
+type HistSnapshot struct {
+	// Count is the total number of observations.
+	Count uint64
+	// Sum is the sum of all observed values.
+	Sum uint64
+	// Buckets[b] counts observations v with bits.Len64(v) == b.
+	Buckets [NumBuckets]uint64
+}
+
+// Snapshot folds every stripe into one snapshot. Concurrent writers
+// may land between bucket loads; the snapshot is a consistent-enough
+// monitoring view, not a linearizable one.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for st := 0; st < h.stripes; st++ {
+		base := st * histWords
+		for b := 0; b < NumBuckets; b++ {
+			s.Buckets[b] += h.words[base+b].Load()
+		}
+		s.Sum += h.words[base+NumBuckets].Load()
+	}
+	for _, c := range s.Buckets {
+		s.Count += c
+	}
+	return s
+}
+
+// BucketBound returns the largest value bucket b can hold: 0 for
+// bucket 0, 2^b-1 for 1..63, and MaxUint64 for bucket 64.
+func BucketBound(b int) uint64 {
+	switch {
+	case b <= 0:
+		return 0
+	case b >= 64:
+		return math.MaxUint64
+	default:
+		return 1<<uint(b) - 1
+	}
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) by locating the
+// bucket holding the rank and interpolating linearly inside its
+// power-of-two range. Returns 0 for an empty snapshot.
+func (s *HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for b := 0; b < NumBuckets; b++ {
+		n := float64(s.Buckets[b])
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			if b == 0 {
+				return 0
+			}
+			lo := float64(uint64(1) << uint(b-1))
+			hi := float64(BucketBound(b))
+			frac := (rank - cum) / n
+			return lo + frac*(hi-lo)
+		}
+		cum += n
+	}
+	return float64(BucketBound(NumBuckets - 1))
+}
+
+// Mean returns the average observed value, 0 when empty.
+func (s *HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

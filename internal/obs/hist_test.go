@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+)
+
+func TestBucketBound(t *testing.T) {
+	cases := []struct {
+		b    int
+		want uint64
+	}{
+		{-1, 0}, {0, 0}, {1, 1}, {2, 3}, {3, 7}, {10, 1023},
+		{63, 1<<63 - 1}, {64, math.MaxUint64}, {65, math.MaxUint64},
+	}
+	for _, c := range cases {
+		if got := BucketBound(c.b); got != c.want {
+			t.Errorf("BucketBound(%d) = %d, want %d", c.b, got, c.want)
+		}
+	}
+	// Bucket membership: BucketBound(b-1) < v <= BucketBound(b) for the
+	// bucket bits.Len64 assigns v to.
+	for _, v := range []uint64{0, 1, 2, 3, 4, 255, 256, 1 << 40, math.MaxUint64} {
+		b := bits.Len64(v)
+		if v > BucketBound(b) || (b > 0 && v <= BucketBound(b-1)) {
+			t.Errorf("value %d misfiled in bucket %d (%d, %d]", v, b, BucketBound(b-1), BucketBound(b))
+		}
+	}
+}
+
+func TestHistogramCountSum(t *testing.T) {
+	h := NewHistogram(3)
+	h.Observe(0, 0)
+	h.Observe(1, 100)
+	h.ObserveN(2, 1000, 5)
+	s := h.Snapshot()
+	if s.Count != 7 {
+		t.Errorf("Count = %d, want 7", s.Count)
+	}
+	if s.Sum != 100+5*1000 {
+		t.Errorf("Sum = %d, want 5100", s.Sum)
+	}
+	if s.Buckets[0] != 1 {
+		t.Errorf("zero bucket = %d, want 1", s.Buckets[0])
+	}
+	if s.Buckets[bits.Len64(100)] != 1 || s.Buckets[bits.Len64(1000)] != 5 {
+		t.Errorf("buckets misfiled: %v", s.Buckets[:12])
+	}
+	if got, want := s.Mean(), 5100.0/7; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Mean = %g, want %g", got, want)
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	var s HistSnapshot
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %g, want 0", got)
+	}
+}
+
+func TestQuantileWithinBucketError(t *testing.T) {
+	// Feed a known uniform distribution; log bucketing bounds the
+	// relative quantile error at 2x (one bucket's width).
+	h := NewHistogram(2)
+	for v := uint64(1); v <= 10000; v++ {
+		h.Observe(int(v%2), v)
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got := s.Quantile(q)
+		want := q * 10000
+		if got < want/2 || got > want*2 {
+			t.Errorf("Quantile(%g) = %g, want within 2x of %g", q, got, want)
+		}
+	}
+	if got := s.Quantile(1.0); got > 2*10000 || got < 10000/2 {
+		t.Errorf("Quantile(1) = %g out of range", got)
+	}
+}
+
+func TestQuantileSingleValue(t *testing.T) {
+	h := NewHistogram(1)
+	h.ObserveN(0, 4096, 1000)
+	s := h.Snapshot()
+	p50 := s.Quantile(0.5)
+	// All mass is in bucket 13, the range [4096, 8191].
+	if b := bits.Len64(4096); s.Buckets[b] != 1000 {
+		t.Fatalf("bucket %d = %d, want 1000", b, s.Buckets[b])
+	}
+	if p50 < 4096 || p50 > 8191 {
+		t.Errorf("p50 = %g, want within bucket of 4096", p50)
+	}
+}
+
+func TestQuantileClamps(t *testing.T) {
+	h := NewHistogram(1)
+	h.Observe(0, 10)
+	s := h.Snapshot()
+	if got := s.Quantile(-0.5); got != s.Quantile(0) {
+		t.Errorf("Quantile(-0.5) = %g, want clamp to Quantile(0)", got)
+	}
+	if got := s.Quantile(2); got != s.Quantile(1) {
+		t.Errorf("Quantile(2) = %g, want clamp to Quantile(1)", got)
+	}
+}

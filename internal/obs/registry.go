@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Registry names metrics and renders them. Components register
+// read-side closures (for counters and gauges) or Histogram handles;
+// nothing in the registry touches the write path, so registration
+// order and lock discipline here cannot perturb serving.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+}
+
+type metric struct {
+	name, help string
+	kind       string // "counter", "gauge", "histogram"
+	read       func() uint64
+	hist       *Histogram
+	scale      float64 // multiplies raw values on output (1e-9: ns -> s)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter registers a monotonically increasing metric read via read.
+func (r *Registry) Counter(name, help string, read func() uint64) {
+	r.add(metric{name: name, help: help, kind: "counter", read: read})
+}
+
+// Gauge registers a point-in-time metric read via read.
+func (r *Registry) Gauge(name, help string, read func() uint64) {
+	r.add(metric{name: name, help: help, kind: "gauge", read: read})
+}
+
+// Histogram registers h under name; scale multiplies raw observed
+// values on output (pass 1e-9 for nanosecond observations exposed in
+// seconds, Prometheus' base unit, or 1 for dimensionless ones).
+func (r *Registry) Histogram(name, help string, scale float64, h *Histogram) {
+	if scale == 0 {
+		scale = 1
+	}
+	r.add(metric{name: name, help: help, kind: "histogram", hist: h, scale: scale})
+}
+
+func (r *Registry) add(m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.metrics {
+		if r.metrics[i].name == m.name {
+			r.metrics[i] = m // re-registration replaces
+			return
+		}
+	}
+	r.metrics = append(r.metrics, m)
+}
+
+func (r *Registry) snapshot() []metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]metric, len(r.metrics))
+	copy(out, r.metrics)
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4). Histogram buckets are
+// cumulative with power-of-two le bounds; empty buckets are elided
+// (cumulative counts stay correct) to keep 65-bucket histograms
+// readable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, m := range r.snapshot() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.kind); err != nil {
+			return err
+		}
+		switch m.kind {
+		case "histogram":
+			s := m.hist.Snapshot()
+			var cum uint64
+			for b := 0; b < NumBuckets; b++ {
+				if s.Buckets[b] == 0 {
+					continue
+				}
+				cum += s.Buckets[b]
+				if b == NumBuckets-1 {
+					continue // top bucket is the +Inf line below
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n",
+					m.name, promFloat(float64(BucketBound(b))*m.scale), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+				m.name, s.Count, m.name, promFloat(float64(s.Sum)*m.scale), m.name, s.Count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s %d\n", m.name, m.read()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// promFloat formats a float the way Prometheus clients expect:
+// shortest representation, scientific notation allowed.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// HistStats is the JSON shape of one histogram in /statsz.
+type HistStats struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
+// HistStatsOf folds h and summarizes it with values scaled by scale.
+func HistStatsOf(h *Histogram, scale float64) HistStats {
+	if scale == 0 {
+		scale = 1
+	}
+	s := h.Snapshot()
+	return HistStats{
+		Count: s.Count,
+		Sum:   float64(s.Sum) * scale,
+		Mean:  s.Mean() * scale,
+		P50:   s.Quantile(0.50) * scale,
+		P90:   s.Quantile(0.90) * scale,
+		P99:   s.Quantile(0.99) * scale,
+		P999:  s.Quantile(0.999) * scale,
+	}
+}
+
+// WriteStatsz renders every metric as one JSON object: counters and
+// gauges as numbers, histograms as HistStats objects with quantiles.
+// Keys are the metric names; encoding/json sorts them, so the output
+// is deterministic given the same values.
+func (r *Registry) WriteStatsz(w io.Writer) error {
+	out := make(map[string]any)
+	for _, m := range r.snapshot() {
+		if m.kind == "histogram" {
+			out[m.name] = HistStatsOf(m.hist, m.scale)
+		} else {
+			out[m.name] = m.read()
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func testRegistry() (*Registry, *Histogram) {
+	reg := NewRegistry()
+	var reqs uint64 = 42
+	reg.Counter("llscd_requests_total", "Requests executed.", func() uint64 { return reqs })
+	reg.Gauge("llscd_connections_open", "Open connections.", func() uint64 { return 3 })
+	h := NewHistogram(2)
+	h.Observe(0, 1000)
+	h.Observe(1, 2000)
+	h.Observe(0, 3000)
+	reg.Histogram("llscd_request_latency_seconds", "Service latency.", 1e-9, h)
+	return reg, h
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg, _ := testRegistry()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE llscd_requests_total counter",
+		"llscd_requests_total 42",
+		"# TYPE llscd_connections_open gauge",
+		"llscd_connections_open 3",
+		"# TYPE llscd_request_latency_seconds histogram",
+		`llscd_request_latency_seconds_bucket{le="+Inf"} 3`,
+		"llscd_request_latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative bucket counts must be non-decreasing and end at count.
+	var last uint64
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "llscd_request_latency_seconds_bucket") {
+			continue
+		}
+		f := strings.Fields(line)
+		v, err := strconv.ParseUint(f[len(f)-1], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < last {
+			t.Errorf("cumulative bucket decreased: %q after %d", line, last)
+		}
+		last = v
+	}
+	if last != 3 {
+		t.Errorf("final cumulative bucket = %d, want 3", last)
+	}
+}
+
+func TestWriteStatsz(t *testing.T) {
+	reg, _ := testRegistry()
+	var buf bytes.Buffer
+	if err := reg.WriteStatsz(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("statsz is not JSON: %v\n%s", err, buf.String())
+	}
+	if string(got["llscd_requests_total"]) != "42" {
+		t.Errorf("requests_total = %s, want 42", got["llscd_requests_total"])
+	}
+	var hs HistStats
+	if err := json.Unmarshal(got["llscd_request_latency_seconds"], &hs); err != nil {
+		t.Fatalf("histogram stats: %v", err)
+	}
+	if hs.Count != 3 {
+		t.Errorf("hist count = %d, want 3", hs.Count)
+	}
+	// 1000-3000ns observations scaled to seconds: quantiles must be
+	// microsecond-scale, not nanosecond-scale.
+	if hs.P50 < 0.5e-6 || hs.P50 > 10e-6 {
+		t.Errorf("p50 = %g, want ~1e-6..4e-6 seconds", hs.P50)
+	}
+}
+
+func TestReRegistrationReplaces(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x", "first", func() uint64 { return 1 })
+	reg.Counter("x", "second", func() uint64 { return 2 })
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "# TYPE x counter") != 1 {
+		t.Errorf("duplicate registration not replaced:\n%s", out)
+	}
+	if !strings.Contains(out, "x 2") {
+		t.Errorf("replacement not in effect:\n%s", out)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mwllsc/internal/obs"
 	"mwllsc/internal/shard"
 	"mwllsc/internal/wire"
 )
@@ -53,6 +54,15 @@ type Store struct {
 	bytes   atomic.Uint64
 	syncs   atomic.Uint64
 	ckpts   atomic.Uint64
+
+	// appendHist times appendRun's log write, striped by shard (the
+	// write already serializes on the shard's log mutex, so a stripe
+	// per shard means no cross-shard line sharing). syncHist times each
+	// group-commit round that actually fsynced something — the number
+	// that bounds commit acknowledgment latency under SyncAlways.
+	// Both record nanoseconds.
+	appendHist *obs.Histogram
+	syncHist   *obs.Histogram
 }
 
 // shardLog is one shard's current segment file.
@@ -102,15 +112,17 @@ func Open(dir string, m *shard.Map, opts Options) (*Store, Recovery, error) {
 		return nil, Recovery{}, err
 	}
 	s := &Store{
-		dir:      dir,
-		k:        k,
-		w:        w,
-		policy:   opts.Policy,
-		interval: opts.Interval,
-		gen:      maxGen + 1,
-		kick:     make(chan struct{}, 1),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+		dir:        dir,
+		k:          k,
+		w:          w,
+		policy:     opts.Policy,
+		interval:   opts.Interval,
+		gen:        maxGen + 1,
+		kick:       make(chan struct{}, 1),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+		appendHist: obs.NewHistogram(k),
+		syncHist:   obs.NewHistogram(1),
 	}
 	s.seq.Store(maxSeq)
 	rec.NextSeq = maxSeq
@@ -149,6 +161,14 @@ func (s *Store) Stats() Stats {
 		Seq:         s.seq.Load(),
 	}
 }
+
+// AppendHist returns the log-append latency histogram (nanoseconds,
+// one stripe per shard).
+func (s *Store) AppendHist() *obs.Histogram { return s.appendHist }
+
+// SyncHist returns the group-commit fsync-round latency histogram
+// (nanoseconds; a round covers every dirty shard log).
+func (s *Store) SyncHist() *obs.Histogram { return s.syncHist }
 
 // Err returns the store's sticky failure, if any: the first disk error
 // seen. A failed store keeps accepting calls but every durability
@@ -213,7 +233,9 @@ func (s *Store) appendRun(recs []Record) error {
 	for i := range recs {
 		lg.buf = appendRecord(lg.buf, &recs[i])
 	}
+	t0 := time.Now()
 	n, err := lg.f.Write(lg.buf)
+	s.appendHist.Observe(sh, uint64(time.Since(t0)))
 	s.bytes.Add(uint64(n))
 	lg.dirty.Store(true)
 	if err != nil {
@@ -278,6 +300,7 @@ func (s *Store) syncRound() {
 	s.waiters = nil
 	s.waitMu.Unlock()
 	synced := false
+	t0 := time.Now()
 	for _, lg := range s.logs {
 		if !lg.dirty.Swap(false) {
 			continue
@@ -292,6 +315,7 @@ func (s *Store) syncRound() {
 	}
 	if synced {
 		s.syncs.Add(1)
+		s.syncHist.Observe(0, uint64(time.Since(t0)))
 	}
 	for _, ch := range ws {
 		close(ch)

@@ -30,7 +30,10 @@ func HotPathAllocs(runs int) (readAllocs, updateAllocs float64, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	s := New(m)
+	// Metrics on: the zero-allocs gate must hold with observability
+	// enabled, or the obs layer would quietly exempt itself from the
+	// discipline it exists to watch.
+	s := New(m, WithMetrics(NewMetrics(m.N())))
 	cs := s.newConnState()
 	out := make(chan *wire.Response, 2*batchN)
 

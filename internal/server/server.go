@@ -30,8 +30,9 @@ import (
 	"fmt"
 	"net"
 	"sync"
-	"sync/atomic"
+	"time"
 
+	"mwllsc/internal/obs"
 	"mwllsc/internal/persist"
 	"mwllsc/internal/shard"
 	"mwllsc/internal/wire"
@@ -73,6 +74,7 @@ type Server struct {
 	maxBatch int
 	logf     func(format string, args ...any)
 	persist  *persist.Store
+	metrics  *Metrics
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -80,18 +82,13 @@ type Server struct {
 	closed   bool
 	wg       sync.WaitGroup
 
-	connsTotal atomic.Uint64
-	connsOpen  atomic.Uint64
-	reqs       atomic.Uint64
-	updates    atomic.Uint64
-	reads      atomic.Uint64
-	snapshots  atomic.Uint64
-	multis     atomic.Uint64
-	batches    atomic.Uint64
-	badReqs    atomic.Uint64
-	// persistErrs counts failed persistence rounds (append or
-	// group-commit fsync errors); see wire.ServerStats.PersistErrs.
-	persistErrs atomic.Uint64
+	// ctrs are the server counters (see the c* indices in metrics.go),
+	// striped per registry slot: per-request bumps from the batch
+	// executor write only the cache lines of the slot it holds, so two
+	// executors at high GOMAXPROCS never contend on stats. Events with
+	// no slot in hand (accepts, decode rejects) use stripe 0 — they are
+	// per-connection or error-path rare, not per-request.
+	ctrs *obs.Counters
 }
 
 // New creates a server over m. The map is shared: in-process callers may
@@ -102,6 +99,7 @@ func New(m *shard.Map, opts ...Option) *Server {
 		maxBatch: 64,
 		logf:     func(string, ...any) {},
 		conns:    make(map[net.Conn]struct{}),
+		ctrs:     obs.NewCounters(m.N(), numCounters),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -180,8 +178,8 @@ func (s *Server) Serve() error {
 		s.conns[c] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
-		s.connsTotal.Add(1)
-		s.connsOpen.Add(1)
+		s.ctrs.Inc(0, cConnsTotal)
+		s.ctrs.Inc(0, cConnsOpen)
 		go s.serveConn(c)
 	}
 }
@@ -221,23 +219,39 @@ func (s *Server) Close() error {
 }
 
 // Stats returns a point-in-time snapshot of the server counters plus
-// the served map's geometry.
+// the served map's geometry, folding the striped banks into the wire
+// totals. The latency quantile words are filled from the attached
+// Metrics histograms (zero with observability off) and FsyncP99 from
+// the durability store (zero without one).
 func (s *Server) Stats() wire.ServerStats {
-	return wire.ServerStats{
+	var c [numCounters]uint64
+	s.ctrs.Sums(c[:])
+	st := wire.ServerStats{
 		Shards:      uint64(s.m.Shards()),
 		Slots:       uint64(s.m.N()),
 		Words:       uint64(s.m.W()),
-		ConnsTotal:  s.connsTotal.Load(),
-		ConnsOpen:   s.connsOpen.Load(),
-		Reqs:        s.reqs.Load(),
-		Updates:     s.updates.Load(),
-		Reads:       s.reads.Load(),
-		Snapshots:   s.snapshots.Load(),
-		Multis:      s.multis.Load(),
-		Batches:     s.batches.Load(),
-		BadReqs:     s.badReqs.Load(),
-		PersistErrs: s.persistErrs.Load(),
+		ConnsTotal:  c[cConnsTotal],
+		ConnsOpen:   c[cConnsOpen],
+		Reqs:        c[cReqs],
+		Updates:     c[cUpdates],
+		Reads:       c[cReads],
+		Snapshots:   c[cSnapshots],
+		Multis:      c[cMultis],
+		Batches:     c[cBatches],
+		BadReqs:     c[cBadReqs],
+		PersistErrs: c[cPersistErrs],
 	}
+	if s.metrics != nil {
+		snap := s.metrics.Service.Snapshot()
+		st.LatP50 = uint64(snap.Quantile(0.50))
+		st.LatP99 = uint64(snap.Quantile(0.99))
+		st.LatP999 = uint64(snap.Quantile(0.999))
+	}
+	if s.persist != nil {
+		snap := s.persist.SyncHist().Snapshot()
+		st.FsyncP99 = uint64(snap.Quantile(0.99))
+	}
+	return st
 }
 
 // respDataSoftCap bounds (in words) the Data backing array a recycled
@@ -340,7 +354,7 @@ func sizedData(resp *wire.Response, n int) []uint64 {
 
 func (s *Server) serveConn(c net.Conn) {
 	defer s.wg.Done()
-	defer s.connsOpen.Add(^uint64(0))
+	defer s.ctrs.Add(0, cConnsOpen, ^uint64(0))
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, c)
@@ -486,7 +500,7 @@ func (s *Server) appendDecoded(cs *connState, frame []byte, out chan<- *wire.Res
 	}
 	br := &batch[len(batch)-1]
 	if err := wire.DecodeRequest(&br.req, frame); err != nil {
-		s.badReqs.Add(1)
+		s.ctrs.Inc(0, cBadReqs)
 		// A frame too mangled to carry an id gets id 0; the client will
 		// drop it but the stream stays framed.
 		resp := cs.getResp()
@@ -526,8 +540,10 @@ func (s *Server) executeBatch(cs *connState, out chan<- *wire.Response) {
 	if len(batch) == 0 {
 		return
 	}
-	s.batches.Add(1)
-	s.reqs.Add(uint64(len(batch)))
+	var t0 time.Time
+	if s.metrics != nil {
+		t0 = time.Now()
+	}
 	for lo := 0; lo < len(batch); {
 		if batch[lo].shardI < 0 {
 			lo++
@@ -549,6 +565,12 @@ func (s *Server) executeBatch(cs *connState, out chan<- *wire.Response) {
 		cs.h.Reacquire()
 	}
 	h := cs.h
+	// Stats stripe for everything this batch does: the registry slot we
+	// just acquired. Another executor necessarily holds a different slot
+	// and therefore writes different cache lines.
+	p := h.Process()
+	s.ctrs.Inc(p, cBatches)
+	s.ctrs.Add(p, cReqs, uint64(len(batch)))
 	for i := range batch {
 		var rec *persist.Record
 		if s.persist != nil {
@@ -556,7 +578,7 @@ func (s *Server) executeBatch(cs *connState, out chan<- *wire.Response) {
 			rec = &cs.recs[len(cs.recs)-1]
 		}
 		resp := cs.getResp()
-		s.execute(cs, h, &batch[i].req, rec, resp)
+		s.execute(cs, h, p, &batch[i].req, rec, resp)
 		if rec != nil {
 			if rec.Op == 0 { // not a committed update; nothing to log
 				cs.recs = cs.recs[:len(cs.recs)-1]
@@ -577,13 +599,13 @@ func (s *Server) executeBatch(cs *connState, out chan<- *wire.Response) {
 		}
 		if err != nil {
 			s.logf("server: persistence: %v", err)
-			s.persistErrs.Add(1)
+			s.ctrs.Inc(p, cPersistErrs)
 			if s.persist.Policy() == persist.SyncAlways {
 				// The in-memory commit stands, but the durability the
 				// policy promises does not — fail the acknowledgment
 				// rather than lie about it. The conversions count as
 				// BadReqs so the drift is visible in the stats.
-				s.badReqs.Add(uint64(len(cs.recResp)))
+				s.ctrs.Add(p, cBadReqs, uint64(len(cs.recResp)))
 				for _, ri := range cs.recResp {
 					r := cs.resps[ri]
 					r.Status = wire.StatusBadRequest
@@ -593,6 +615,14 @@ func (s *Server) executeBatch(cs *connState, out chan<- *wire.Response) {
 				}
 			}
 		}
+	}
+	if s.metrics != nil {
+		// One timestamp pair per batch: the whole execute+persist window,
+		// attributed to every request in it. Under SyncAlways this is the
+		// client-visible service time minus queueing and wire transfer.
+		d := uint64(time.Since(t0))
+		s.metrics.Service.ObserveN(p, d, uint64(len(batch)))
+		s.metrics.Batch.Observe(p, uint64(len(batch)))
 	}
 	for _, resp := range cs.resps {
 		out <- resp
@@ -648,7 +678,7 @@ func (s *Server) Checkpoint() error {
 // (committing) run leaves the number that orders the record against
 // every other committed update on its shards; rec.Op stays 0 for
 // non-durable or failed requests.
-func (s *Server) execute(cs *connState, h *shard.MapHandle, req *wire.Request, rec *persist.Record, resp *wire.Response) {
+func (s *Server) execute(cs *connState, h *shard.MapHandle, p int, req *wire.Request, rec *persist.Record, resp *wire.Response) {
 	resp.ID = req.ID
 	w := s.m.W()
 	switch req.Op {
@@ -656,37 +686,40 @@ func (s *Server) execute(cs *connState, h *shard.MapHandle, req *wire.Request, r
 		// Empty OK response.
 
 	case wire.OpRead:
-		s.reads.Add(1)
+		s.ctrs.Inc(p, cReads)
 		resp.Rows, resp.Words = 1, uint32(w)
 		h.Read(req.Key, sizedData(resp, w))
 
 	case wire.OpUpdate:
-		s.updates.Add(1)
+		s.ctrs.Inc(p, cUpdates)
 		if len(req.Args) != w {
-			s.fail(resp, "update args have %d words, map width is %d", len(req.Args), w)
+			s.fail(p, resp, "update args have %d words, map width is %d", len(req.Args), w)
 			return
 		}
 		if req.Mode > wire.ModeSet {
-			s.fail(resp, "unknown update mode %d", req.Mode)
+			s.fail(p, resp, "unknown update mode %d", req.Mode)
 			return
 		}
 		resp.Rows, resp.Words = 1, uint32(w)
 		cs.args, cs.mode, cs.dst, cs.rec = req.Args, req.Mode, sizedData(resp, w), rec
 		resp.Attempts = uint32(h.Update(req.Key, cs.mergeOne))
+		if s.metrics != nil {
+			s.metrics.Attempts.Observe(p, uint64(resp.Attempts))
+		}
 		if rec != nil {
 			rec.Op, rec.Mode, rec.Key, rec.Args = wire.OpUpdate, req.Mode, req.Key, req.Args
 			rec.Shard = s.m.ShardIndex(req.Key)
 		}
 
 	case wire.OpSnapshot, wire.OpSnapshotAtomic:
-		s.snapshots.Add(1)
+		s.ctrs.Inc(p, cSnapshots)
 		k := s.m.Shards()
 		// A K×W beyond one frame would be encoded and then kill the
 		// client connection at its MaxFrame check; refuse it with a
 		// clear error instead (llscd also refuses the geometry at
 		// startup).
 		if !SnapshotFits(k, w) {
-			s.fail(resp, "snapshot of %d×%d words exceeds the %d-byte frame limit", k, w, wire.MaxFrame)
+			s.fail(p, resp, "snapshot of %d×%d words exceeds the %d-byte frame limit", k, w, wire.MaxFrame)
 			return
 		}
 		resp.Rows, resp.Words = uint32(k), uint32(w)
@@ -705,19 +738,22 @@ func (s *Server) execute(cs *connState, h *shard.MapHandle, req *wire.Request, r
 		}
 
 	case wire.OpUpdateMulti:
-		s.multis.Add(1)
+		s.ctrs.Inc(p, cMultis)
 		nk := len(req.Keys)
 		if len(req.Args) != nk*w {
-			s.fail(resp, "updatemulti args have %d words, want %d keys × width %d", len(req.Args), nk, w)
+			s.fail(p, resp, "updatemulti args have %d words, want %d keys × width %d", len(req.Args), nk, w)
 			return
 		}
 		if req.Mode > wire.ModeSet {
-			s.fail(resp, "unknown update mode %d", req.Mode)
+			s.fail(p, resp, "unknown update mode %d", req.Mode)
 			return
 		}
 		resp.Rows, resp.Words = uint32(nk), uint32(w)
 		cs.args, cs.mode, cs.dst, cs.rec, cs.w = req.Args, req.Mode, sizedData(resp, nk*w), rec, w
 		resp.Attempts = uint32(h.UpdateMulti(req.Keys, cs.mergeMulti))
+		if s.metrics != nil {
+			s.metrics.Attempts.Observe(p, uint64(resp.Attempts))
+		}
 		if rec != nil {
 			rec.Op, rec.Mode, rec.Keys, rec.Args = wire.OpUpdateMulti, req.Mode, req.Keys, req.Args
 			rec.Shard = s.m.ShardIndex(req.Keys[0])
@@ -734,7 +770,7 @@ func (s *Server) execute(cs *connState, h *shard.MapHandle, req *wire.Request, r
 		resp.Rows, resp.Words = 1, uint32(len(resp.Data))
 
 	default:
-		s.fail(resp, "unknown opcode %d", uint8(req.Op))
+		s.fail(p, resp, "unknown opcode %d", uint8(req.Op))
 	}
 }
 
@@ -746,9 +782,10 @@ func SnapshotFits(k, w int) bool {
 	return k*w <= (wire.MaxFrame-respHeader)/8
 }
 
-// fail marks resp as a StatusBadRequest response.
-func (s *Server) fail(resp *wire.Response, format string, args ...any) {
-	s.badReqs.Add(1)
+// fail marks resp as a StatusBadRequest response, counting it on
+// stripe p.
+func (s *Server) fail(p int, resp *wire.Response, format string, args ...any) {
+	s.ctrs.Inc(p, cBadReqs)
 	resp.Status = wire.StatusBadRequest
 	resp.Err = fmt.Sprintf(format, args...)
 	resp.Attempts, resp.Rows, resp.Words = 0, 0, 0

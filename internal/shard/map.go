@@ -164,6 +164,11 @@ func (m *Map) W() int { return m.w }
 // Registry returns the process-slot registry shared by all shards.
 func (m *Map) Registry() *Registry { return m.reg }
 
+// TxnStats returns the transaction engine's contention counters
+// (helping and retry rates) — the observability window onto how often
+// the paper's helping mechanism actually fires under this map's load.
+func (m *Map) TxnStats() txn.Stats { return m.eng.Stats() }
+
 // ShardIndex returns the shard that owns key.
 func (m *Map) ShardIndex(key uint64) int {
 	return int(mix64(key) % uint64(m.k))

@@ -60,6 +60,8 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+
+	"mwllsc/internal/obs"
 )
 
 // ShardSet is the substrate the engine runs over: Shards() independent
@@ -208,6 +210,37 @@ type Engine struct {
 	descs   []descriptor
 	local   []ownerLocal
 	all     []int // [0,k): Snapshot's fallback target list
+	// ctrs are the engine's contention counters (helps, retries),
+	// striped per process so bumping them costs no shared cache line —
+	// these fire exactly when shards are already contended, the worst
+	// possible moment to add false sharing.
+	ctrs *obs.Counters
+}
+
+// Engine counter indices within ctrs.
+const (
+	ctrHelps   = iota // helpRef invocations: lock references found in the way
+	ctrRetries        // extra Update attempts beyond the first (conflict aborts)
+	numEngineCtrs
+)
+
+// Stats is a snapshot of the engine's contention counters.
+type Stats struct {
+	// Helps counts lock references processes found in their way and
+	// helped to completion (or recognized as stale and cleared) —
+	// the paper's helping mechanism firing.
+	Helps uint64
+	// Retries counts Update attempts beyond each call's first: how
+	// often a conflicting commit forced a collect-lock cycle to rerun.
+	Retries uint64
+}
+
+// Stats returns the engine's contention counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Helps:   e.ctrs.Sum(ctrHelps),
+		Retries: e.ctrs.Sum(ctrRetries),
+	}
 }
 
 // New builds an engine for n processes over s.
@@ -224,6 +257,7 @@ func New(s ShardSet, n int) (*Engine, error) {
 		descs: make([]descriptor, n),
 		local: make([]ownerLocal, n),
 		all:   make([]int, k),
+		ctrs:  obs.NewCounters(n, numEngineCtrs),
 	}
 	e.stepper, _ = s.(Stepper)
 	for i := range e.all {
@@ -347,6 +381,9 @@ func (e *Engine) Update(p int, keyShards []int, f func(vals [][]uint64)) int {
 		e.step(p)
 		d.status.Store((seq + 1) << 2)
 		if outcome == phaseCommitted {
+			if attempt > 1 {
+				e.ctrs.Add(p, ctrRetries, uint64(attempt-1))
+			}
 			return attempt
 		}
 	}
@@ -464,6 +501,7 @@ func (e *Engine) stableRead(p, sh int, dst []uint64) {
 // lock install never touches the shard value, so clearing the lock word
 // is the identity).
 func (e *Engine) helpRef(p, sh int, ref uint64) {
+	e.ctrs.Inc(p, ctrHelps)
 	q := refProc(ref)
 	if q >= len(e.descs) {
 		e.clearStale(p, sh, ref)

@@ -454,11 +454,26 @@ type ServerStats struct {
 	// commit is acked and this counter is the only sign durability is
 	// degraded — alert on it.
 	PersistErrs uint64
+	// LatP50/LatP99/LatP999 are server-side service-latency quantiles in
+	// nanoseconds (the batch-execute window: handle acquisition through
+	// durability, attributed to every request in the batch), estimated
+	// from the server's log-bucketed histogram. Zero when the server
+	// predates them or runs with observability off. Like PersistErrs,
+	// they ride as optional trailing words: old clients ignore them, new
+	// clients read zeros from old servers.
+	LatP50  uint64
+	LatP99  uint64
+	LatP999 uint64
+	// FsyncP99 is the p99 group-commit fsync latency in nanoseconds,
+	// zero when the server runs without a durability store.
+	FsyncP99 uint64
 }
 
-// statsWords is the minimum wire width of ServerStats; PersistErrs rides
-// as an optional 13th word so new clients still decode rows from older
-// servers (and, per the tolerant-decode rule above, vice versa).
+// statsWords is the minimum wire width of ServerStats; PersistErrs
+// rides as an optional 13th word and the latency quantiles
+// (LatP50/LatP99/LatP999/FsyncP99) as optional words 14-17, so new
+// clients still decode rows from older servers (and, per the
+// tolerant-decode rule above, vice versa).
 const statsWords = 12
 
 // Append encodes s in field order.
@@ -467,7 +482,8 @@ func (s *ServerStats) Append(dst []uint64) []uint64 {
 		s.Shards, s.Slots, s.Words,
 		s.ConnsTotal, s.ConnsOpen,
 		s.Reqs, s.Updates, s.Reads, s.Snapshots, s.Multis,
-		s.Batches, s.BadReqs, s.PersistErrs)
+		s.Batches, s.BadReqs, s.PersistErrs,
+		s.LatP50, s.LatP99, s.LatP999, s.FsyncP99)
 }
 
 // DecodeStats decodes a stats row previously produced by Append.
@@ -481,8 +497,13 @@ func DecodeStats(row []uint64) (ServerStats, error) {
 		Reqs: row[5], Updates: row[6], Reads: row[7], Snapshots: row[8], Multis: row[9],
 		Batches: row[10], BadReqs: row[11],
 	}
-	if len(row) > 12 {
-		st.PersistErrs = row[12]
+	// Optional trailing words, newest-last; a shorter row from an older
+	// server leaves them zero.
+	opt := []*uint64{&st.PersistErrs, &st.LatP50, &st.LatP99, &st.LatP999, &st.FsyncP99}
+	for i, p := range opt {
+		if len(row) > statsWords+i {
+			*p = row[statsWords+i]
+		}
 	}
 	return st, nil
 }

@@ -160,6 +160,7 @@ func TestStatsRoundTrip(t *testing.T) {
 		ConnsTotal: 10, ConnsOpen: 3,
 		Reqs: 100, Updates: 50, Reads: 30, Snapshots: 5, Multis: 15,
 		Batches: 40, BadReqs: 1, PersistErrs: 2,
+		LatP50: 12_000, LatP99: 250_000, LatP999: 900_000, FsyncP99: 4_000_000,
 	}
 	row := want.Append(nil)
 	got, err := DecodeStats(row)
