@@ -174,6 +174,142 @@ func TestAdminPlane(t *testing.T) {
 	}
 }
 
+// traceSpan mirrors the /tracez | /slowz span JSON (internal/trace
+// SpanJSON); only the fields this test asserts on.
+type traceSpan struct {
+	TraceID string            `json:"trace_id"`
+	Sampled bool              `json:"sampled"`
+	TotalNS uint64            `json:"total_ns"`
+	Stages  map[string]uint64 `json:"stages_ns"`
+}
+
+type tracePage struct {
+	Kind    string      `json:"kind"`
+	SampleN uint64      `json:"sample_n"`
+	Retired uint64      `json:"retired"`
+	Spans   []traceSpan `json:"spans"`
+}
+
+func TestAdminTracePlane(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	addr, out, shutdown := startDaemon(t,
+		"-shards", "4", "-slots", "4", "-words", "2",
+		"-trace-sample", "2", "-slow-threshold", "1ns",
+		"-admin", "127.0.0.1:0")
+	aaddr := adminAddr(t, out)
+	base := "http://" + aaddr
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// One client-flagged trace with a known id plus enough plain traffic
+	// that head sampling (1 in 2) must fire too.
+	ct := client.Trace{ID: 0xfeedface}
+	if _, err := c.Add(client.WithTrace(ctx, &ct), 1, []uint64{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if _, err := c.Read(ctx, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Scrape mid-load: the daemon is still serving; spans retire after
+	// the response flush, so poll until the rings are populated.
+	var page tracePage
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, body := httpGet(t, base+"/tracez")
+		if code != 200 {
+			t.Fatalf("/tracez: code=%d", code)
+		}
+		if err := json.Unmarshal([]byte(body), &page); err != nil {
+			t.Fatalf("/tracez is not JSON: %v\n%s", err, body)
+		}
+		if len(page.Spans) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/tracez never filled: %+v", page)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if page.Kind != "recent" || page.SampleN != 2 {
+		t.Errorf("/tracez header: %+v", page)
+	}
+
+	code, body := httpGet(t, base+"/slowz")
+	if code != 200 {
+		t.Fatalf("/slowz: code=%d", code)
+	}
+	var slow tracePage
+	if err := json.Unmarshal([]byte(body), &slow); err != nil {
+		t.Fatalf("/slowz is not JSON: %v\n%s", err, body)
+	}
+	if slow.Kind != "slow" || len(slow.Spans) == 0 {
+		t.Fatalf("/slowz empty with a 1ns threshold: %+v", slow)
+	}
+
+	// Every span's stage breakdown must account for its total: the
+	// flush stage is defined as the remainder, so the sum should land
+	// within 10% of total_ns (clock granularity is the only slack).
+	found := false
+	for _, spans := range [][]traceSpan{page.Spans, slow.Spans} {
+		for _, s := range spans {
+			var sum uint64
+			for _, ns := range s.Stages {
+				sum += ns
+			}
+			lo, hi := s.TotalNS*9/10, s.TotalNS*11/10
+			if sum < lo || sum > hi {
+				t.Errorf("span %s: stage sum %d outside 10%% of total %d (%+v)",
+					s.TraceID, sum, s.TotalNS, s.Stages)
+			}
+			if s.TraceID == "00000000feedface" && !s.Sampled {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("client-flagged trace 0xfeedface not in /tracez or /slowz")
+	}
+
+	// The client got the server-side breakdown back on the wire.
+	if len(ct.ServerStages) == 0 || ct.Total <= 0 {
+		t.Errorf("client trace not filled: %+v", ct)
+	}
+
+	// The 1ns threshold makes every trace slow; at least one structured
+	// slow-op line must have hit stdout.
+	if !strings.Contains(out.String(), "slow-op trace=") {
+		t.Errorf("no slow-op log line on stdout:\n%s", out)
+	}
+
+	c.Close()
+	if got := shutdown(); got != 0 {
+		t.Fatalf("daemon exit code %d\nstdout: %s", got, out)
+	}
+	http.DefaultClient.CloseIdleConnections()
+	deadline = time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		stacks := string(buf)
+		if strings.Contains(stacks, "net/http") ||
+			strings.Contains(stacks, "mwllsc/internal/server.") ||
+			strings.Contains(stacks, "mwllsc/internal/trace.") ||
+			strings.Contains(stacks, "main.run") {
+			t.Fatalf("goroutine leak after shutdown: %d > baseline %d\n%s", n, baseline, stacks)
+		}
+	}
+}
+
 func TestAdminHealthzTracksPersistFailure(t *testing.T) {
 	// A durable daemon's /healthz is wired to the store's sticky error;
 	// a healthy store answers 200.

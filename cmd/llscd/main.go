@@ -10,6 +10,7 @@
 //	llscd [-addr 127.0.0.1:7787] [-shards 16] [-slots 16] [-words 2]
 //	      [-impl jp] [-maxbatch 64] [-stats 0] [-v] [-admin ""]
 //	      [-dir ""] [-fsync everysec] [-checkpoint-interval 1m]
+//	      [-trace-sample 0] [-slow-threshold 0]
 //
 // With -dir the daemon is durable: committed updates are appended to
 // per-shard logs in that directory (fsynced per -fsync: none, everysec
@@ -23,9 +24,17 @@
 // 0 picks a free port; the bound address is printed as "llscd: admin
 // on ..."): Prometheus-text metrics on /metrics, a JSON snapshot with
 // histogram quantiles on /statsz, a liveness probe on /healthz (503
-// once the durability layer has a sticky disk failure), and the
-// standard Go profiler under /debug/pprof/. See docs/OBSERVABILITY.md
-// for the metric catalog.
+// once the durability layer has a sticky disk failure; the body echoes
+// the build info), recent traces on /tracez and the slowest traces
+// with stage breakdowns on /slowz, and the standard Go profiler under
+// /debug/pprof/. See docs/OBSERVABILITY.md for the metric catalog.
+//
+// Per-request tracing (internal/trace) is always compiled in: requests
+// flagged by the client are traced on demand, -trace-sample N
+// additionally head-samples 1 in N requests per connection, and every
+// trace slower than -slow-threshold emits one structured slow-op log
+// line on stdout. With sampling off and no flagged requests the
+// tracing layer costs one clock read per batch (priced by E15).
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: it stops
 // accepting, closes open connections, waits for the per-connection
@@ -52,6 +61,7 @@ import (
 	"mwllsc/internal/obs"
 	"mwllsc/internal/persist"
 	"mwllsc/internal/server"
+	"mwllsc/internal/trace"
 )
 
 func main() {
@@ -76,6 +86,8 @@ func run(args []string, stop <-chan os.Signal, stdout, stderr io.Writer) int {
 		dir      = fs.String("dir", "", "data directory for the durability layer (empty = in-memory only)")
 		fsyncStr = fs.String("fsync", "everysec", "log fsync policy: none, everysec or always")
 		ckptDur  = fs.Duration("checkpoint-interval", time.Minute, "time between checkpoints (0 = only at shutdown)")
+		sampleN  = fs.Uint64("trace-sample", 0, "head-sample 1 in N requests per connection into /tracez and /slowz (0 = only client-flagged requests)")
+		slowThr  = fs.Duration("slow-threshold", 0, "log one structured slow-op line per trace slower than this (0 = never)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -92,10 +104,21 @@ func run(args []string, stop <-chan os.Signal, stdout, stderr io.Writer) int {
 	}
 	// Histograms are always on in the daemon: E14 prices them at well
 	// under the gate's 3% and a daemon you cannot ask for its latency
-	// distribution is not operable.
+	// distribution is not operable. The tracer likewise: with sampling
+	// off it only serves client-flagged requests (E15 prices the
+	// untraced path), and a daemon that cannot answer "where did this
+	// slow request go" is not debuggable.
+	tr := trace.New(trace.Config{
+		SampleN:       *sampleN,
+		SlowThreshold: *slowThr,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(stdout, "llscd: "+format+"\n", a...)
+		},
+	})
 	opts := []server.Option{
 		server.WithMaxBatch(*maxBatch),
 		server.WithMetrics(server.NewMetrics(*slots)),
+		server.WithTracer(tr),
 	}
 	if *verbose {
 		opts = append(opts, server.WithLogf(func(format string, a ...any) {
@@ -130,6 +153,7 @@ func run(args []string, stop <-chan os.Signal, stdout, stderr io.Writer) int {
 	if st != nil {
 		durable = "dir=" + *dir + " fsync=" + st.Policy().String()
 	}
+	fmt.Fprintf(stdout, "llscd: %s\n", obs.BuildInfo())
 	fmt.Fprintf(stdout, "llscd: serving K=%d shards × W=%d words (N=%d slots, impl=%s, maxbatch=%d, %s) on %s\n",
 		*shards, *words, *slots, *impl, *maxBatch, durable, bound)
 
@@ -145,7 +169,10 @@ func run(args []string, stop <-chan os.Signal, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "llscd: admin: %v\n", err)
 			return 1
 		}
-		adminSrv := &http.Server{Handler: obs.NewAdminMux(reg, healthz)}
+		mux := obs.NewAdminMux(reg, healthz, obs.BuildInfo())
+		mux.HandleFunc("/tracez", tr.ServeTracez)
+		mux.HandleFunc("/slowz", tr.ServeSlowz)
+		adminSrv := &http.Server{Handler: mux}
 		adminDone := make(chan struct{})
 		go func() {
 			defer close(adminDone)

@@ -7,15 +7,25 @@
 // Usage:
 //
 //	llscload [-addr host:port] [-conns 4] [-workers 64] [-dur 2s]
-//	         [-shards 16] [-slots 16] [-words 2] [-maxbatch 64] [-json out.json]
+//	         [-shards 16] [-slots 16] [-words 2] [-maxbatch 64]
+//	         [-json out.json] [-trace 0]
 //
 // It reports aggregate throughput, client-side p50/p99 latency, the
 // server-side batch-execute p50/p99 from the target's latency
-// histograms (zero against servers that predate them), and the
-// server's average batch size, in the same table and JSON formats as
-// llscbench, so runs slot into the BENCH_*.json trajectory. The gap
-// between the client and server columns is the wire, syscall and queue
-// time.
+// histograms (zero against servers that predate them), the server's
+// average batch size, and the count of failed operations, in the same
+// table and JSON formats as llscbench, so runs slot into the
+// BENCH_*.json trajectory. The gap between the client and server
+// columns is the wire, syscall and queue time. Any op errors make the
+// run exit nonzero (after reporting), so a CI smoke cannot pass on a
+// silently failing load.
+//
+// With -trace N every Nth request per worker is traced end to end
+// (wire-propagated trace id, see docs/OBSERVABILITY.md): a second
+// table breaks the p50 and p99 exemplar requests into client send
+// queue, on-wire round trip, and — against an llscd with tracing —
+// the six server stages (decode, queue, acquire, execute, persist,
+// fsync), each row grep-able in the server's /tracez by trace id.
 package main
 
 import (
@@ -23,9 +33,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"time"
 
 	"mwllsc/internal/bench"
+	"mwllsc/internal/client"
 )
 
 func main() {
@@ -45,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		words    = fs.Int("words", 2, "value width in 64-bit words W (must match a remote server)")
 		maxBatch = fs.Int("maxbatch", 64, "in-process server: max requests per registry acquisition")
 		jsonOut  = fs.String("json", "", "also write a JSON report to this path (\"-\" = stdout only)")
+		traceN   = fs.Int("trace", 0, "trace every Nth request per worker and print p50/p99 end-to-end stage exemplars (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -72,7 +85,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "llscload: in-process llscd (K=%d N=%d W=%d) on %s\n", *shards, n, *words, target)
 	}
 
-	res, err := bench.NetLoadClosedLoop(target, *conns, *workers, *words, *dur)
+	res, err := bench.NetLoadClosedLoop(target, *conns, *workers, *words, *dur, *traceN)
 	if err != nil {
 		fmt.Fprintf(stderr, "llscload: %v\n", err)
 		return 1
@@ -82,18 +95,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ID:    "e11",
 		Title: fmt.Sprintf("llscload: closed-loop serving load against %s (%v)", target, *dur),
 		Note:  "one Add per round trip per worker; workers pipeline through the shared connection pool.",
-		Cols:  []string{"conns", "inflight", "ops", "ops/s", "p50 us", "p99 us", "srv p50 us", "srv p99 us", "avg batch"},
+		Cols:  []string{"conns", "inflight", "ops", "errs", "ops/s", "p50 us", "p99 us", "srv p50 us", "srv p99 us", "avg batch"},
 	}
-	t.AddRow(*conns, *workers, res.Ops, res.OpsPerSec,
+	t.AddRow(*conns, *workers, res.Ops, res.Errs, res.OpsPerSec,
 		float64(res.P50.Nanoseconds())/1e3, float64(res.P99.Nanoseconds())/1e3,
 		float64(res.SrvP50.Nanoseconds())/1e3, float64(res.SrvP99.Nanoseconds())/1e3, res.AvgBatch)
+	tables := []*bench.Table{t}
+	if *traceN > 0 {
+		tables = append(tables, traceTable(res.Traces, target))
+	}
 
 	jsonOnly := *jsonOut == "-"
 	if !jsonOnly {
-		t.Fprint(stdout)
+		for _, tab := range tables {
+			tab.Fprint(stdout)
+		}
 	}
 	if *jsonOut != "" {
-		report := bench.NewReport([]*bench.Table{t})
+		report := bench.NewReport(tables)
 		out := stdout
 		if !jsonOnly {
 			f, err := os.Create(*jsonOut)
@@ -109,5 +128,59 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
+	if res.Errs > 0 {
+		fmt.Fprintf(stderr, "llscload: %d op error(s), e.g. %s\n", res.Errs, res.LastErr)
+		return 1
+	}
 	return 0
+}
+
+// traceTable breaks the p50 and p99 exemplar traced requests into the
+// end-to-end stages: client send-queue wait, on-wire round trip (the
+// round trip minus whatever the server accounted for), and the six
+// server-side stages echoed on the wire. Against a server without
+// tracing the server columns are zero and "wire us" is the whole round
+// trip.
+func traceTable(traces []client.Trace, target string) *bench.Table {
+	t := &bench.Table{
+		ID:    "trace",
+		Title: fmt.Sprintf("llscload: end-to-end stage breakdown of traced exemplars against %s", target),
+		Note: "queue = client send-queue wait; wire = round trip minus server-accounted time; " +
+			"server stages per docs/OBSERVABILITY.md; trace ids grep-able in the server's /tracez and /slowz.",
+		Cols: []string{"exemplar", "trace", "total us", "queue us", "wire us",
+			"decode us", "srv queue us", "acquire us", "execute us", "persist us", "fsync us"},
+	}
+	if len(traces) == 0 {
+		return t
+	}
+	sort.Slice(traces, func(i, j int) bool { return traces[i].Total < traces[j].Total })
+	rows := []struct {
+		name string
+		tr   client.Trace
+	}{
+		{"p50", traces[len(traces)/2]},
+		{"p99", traces[len(traces)*99/100]},
+	}
+	us := func(ns uint64) float64 { return float64(ns) / 1e3 }
+	for _, r := range rows {
+		var srv [6]uint64
+		var srvSum uint64
+		for i, ns := range r.tr.ServerStages {
+			if i >= len(srv) {
+				break
+			}
+			srv[i] = ns
+			srvSum += ns
+		}
+		wire := r.tr.RoundTrip.Nanoseconds() - int64(srvSum)
+		if wire < 0 {
+			wire = 0
+		}
+		t.AddRow(r.name, fmt.Sprintf("%016x", r.tr.ID),
+			float64(r.tr.Total.Nanoseconds())/1e3,
+			float64(r.tr.QueueWait.Nanoseconds())/1e3,
+			float64(wire)/1e3,
+			us(srv[0]), us(srv[1]), us(srv[2]), us(srv[3]), us(srv[4]), us(srv[5]))
+	}
+	return t
 }

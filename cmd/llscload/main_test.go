@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -42,6 +43,50 @@ func TestRunJSONReport(t *testing.T) {
 	}
 	if len(report.Experiments[0].Records) != 1 {
 		t.Fatalf("%d records, want 1", len(report.Experiments[0].Records))
+	}
+}
+
+func TestRunTraceExemplars(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-conns", "1", "-workers", "2", "-dur", "40ms", "-shards", "2", "-words", "1", "-trace", "4"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d\nstderr: %s", code, errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "end-to-end stage breakdown") {
+		t.Fatalf("no trace exemplar table:\n%s", s)
+	}
+	for _, col := range []string{"p50", "p99", "execute us", "wire us"} {
+		if !strings.Contains(s, col) {
+			t.Fatalf("trace table missing %q:\n%s", col, s)
+		}
+	}
+}
+
+func TestRunErrsColumnInJSON(t *testing.T) {
+	// The JSON record must carry the op-error count (zero on a clean
+	// run) so a CI smoke can assert on it.
+	path := filepath.Join(t.TempDir(), "load.json")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-conns", "1", "-workers", "1", "-dur", "30ms", "-shards", "2", "-words", "1", "-json", path}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d\nstderr: %s", code, errOut.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report bench.Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	rec := report.Experiments[0].Records[0]
+	v, ok := rec["errs"]
+	if !ok {
+		t.Fatalf("record has no errs field: %+v", rec)
+	}
+	if fmt.Sprintf("%v", v) != "0" {
+		t.Fatalf("errs = %v on a clean run", v)
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"io"
 	"os"
 	"runtime"
+
+	"mwllsc/internal/obs"
 )
 
 // Report is the machine-readable form of a benchmark run, written by
@@ -23,6 +25,10 @@ type Report struct {
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	NumCPU     int    `json:"num_cpu"`
 	Hostname   string `json:"hostname,omitempty"`
+	// Build is the producing binary's identity (obs.BuildInfo): module,
+	// version, vcs revision and toolchain. "Which build produced these
+	// numbers?" is the first question about any regression.
+	Build string `json:"build,omitempty"`
 	// Experiments holds one entry per table, in run order.
 	Experiments []TableJSON `json:"experiments"`
 }
@@ -76,6 +82,7 @@ func NewReport(tables []*Table) *Report {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Hostname:   host,
+		Build:      obs.BuildInfo(),
 	}
 	for _, t := range tables {
 		r.Experiments = append(r.Experiments, t.JSON())

@@ -11,6 +11,7 @@ import (
 	"mwllsc/internal/client"
 	"mwllsc/internal/server"
 	"mwllsc/internal/shard"
+	"mwllsc/internal/trace"
 	"mwllsc/internal/wire"
 )
 
@@ -22,11 +23,16 @@ func StartLoopbackServer(k, n, w, maxBatch int) (*server.Server, string, error) 
 	if err != nil {
 		return nil, "", err
 	}
-	// Metrics on, matching the daemon's always-on configuration: the
-	// numbers the serving benchmarks record are the numbers production
-	// pays, and llscload's server-side latency columns need the
-	// histograms populated.
-	s := server.New(m, server.WithMaxBatch(maxBatch), server.WithMetrics(server.NewMetrics(n)))
+	// Metrics and tracer on, matching the daemon's always-on
+	// configuration: the numbers the serving benchmarks record are the
+	// numbers production pays, llscload's server-side latency columns
+	// need the histograms populated, and its -trace exemplars need a
+	// tracer answering. Sampling stays off, so the tracer's untraced
+	// cost is one clock read per batch (priced by E15).
+	s := server.New(m,
+		server.WithMaxBatch(maxBatch),
+		server.WithMetrics(server.NewMetrics(n)),
+		server.WithTracer(trace.New(trace.Config{})))
 	addr, err := s.Listen("127.0.0.1:0")
 	if err != nil {
 		return nil, "", err
@@ -37,18 +43,25 @@ func StartLoopbackServer(k, n, w, maxBatch int) (*server.Server, string, error) 
 
 // NetLoadResult is one closed-loop load measurement point.
 type NetLoadResult struct {
-	Ops       int64         // operations completed
-	OpsPerSec float64       // aggregate throughput
-	P50       time.Duration // median request latency
-	P99       time.Duration // tail request latency
-	AvgBatch  float64       // server-side requests per registry acquisition (0 if unknown)
-	SrvP50    time.Duration // server-side batch-execute latency p50 (0 if the server has no histograms)
-	SrvP99    time.Duration // server-side batch-execute latency p99 (0 if unknown)
+	Ops       int64          // operations completed
+	Errs      int64          // operations that returned an error (not in Ops)
+	LastErr   string         // one representative error when Errs > 0
+	OpsPerSec float64        // aggregate throughput
+	P50       time.Duration  // median request latency
+	P99       time.Duration  // tail request latency
+	AvgBatch  float64        // server-side requests per registry acquisition (0 if unknown)
+	SrvP50    time.Duration  // server-side batch-execute latency p50 (0 if the server has no histograms)
+	SrvP99    time.Duration  // server-side batch-execute latency p99 (0 if unknown)
+	Traces    []client.Trace // end-to-end stage samples, when tracing was requested
 }
 
 // latencySamples bounds per-worker latency recording so long runs do
 // not grow memory without bound; beyond it, sampling decimates.
 const latencySamples = 1 << 15
+
+// traceSamples bounds per-worker trace collection, like latencySamples
+// bounds latency recording.
+const traceSamples = 256
 
 // NetLoadClosedLoop drives addr with `workers` closed-loop goroutines
 // (each waits for its response before issuing the next request — the
@@ -57,7 +70,17 @@ const latencySamples = 1 << 15
 // Add on a pseudo-random key. Workers sharing a connection pipeline
 // through it, so conns controls server-side parallelism and
 // workers/conns the pipelining depth per connection.
-func NetLoadClosedLoop(addr string, conns, workers, w int, dur time.Duration) (NetLoadResult, error) {
+//
+// Op errors are counted, not fatal: workers keep driving load so one
+// failing request cannot silently halve the offered load mid-window.
+// The caller sees the count (and one representative error) in the
+// result; only a window with zero successes is an error.
+//
+// With traceEvery > 0 every traceEvery-th op per worker runs traced
+// (client.WithTrace): its client-side queue/round-trip split — and,
+// against a tracer-equipped server, the server stage breakdown — is
+// collected into Traces (bounded per worker).
+func NetLoadClosedLoop(addr string, conns, workers, w int, dur time.Duration, traceEvery int) (NetLoadResult, error) {
 	c, err := client.Dial(addr, client.WithConns(conns))
 	if err != nil {
 		return NetLoadResult{}, err
@@ -70,11 +93,13 @@ func NetLoadClosedLoop(addr string, conns, workers, w int, dur time.Duration) (N
 	}
 
 	var (
-		wg      sync.WaitGroup
-		stopped = make(chan struct{})
-		counts  = make([]int64, workers)
-		lats    = make([][]time.Duration, workers)
-		errs    = make(chan error, workers)
+		wg       sync.WaitGroup
+		stopped  = make(chan struct{})
+		counts   = make([]int64, workers)
+		errCount = make([]int64, workers)
+		lastErr  = make([]error, workers)
+		lats     = make([][]time.Duration, workers)
+		traces   = make([][]client.Trace, workers)
 	)
 	ctx := context.Background()
 	deltas := make([]uint64, w)
@@ -85,24 +110,40 @@ func NetLoadClosedLoop(addr string, conns, workers, w int, dur time.Duration) (N
 		go func(g int) {
 			defer wg.Done()
 			lat := make([]time.Duration, 0, 4096)
-			var done int64
+			var trs []client.Trace
+			var done, failed int64
+			var err1 error
 			key := uint64(g) << 40
 			for {
 				select {
 				case <-stopped:
 					counts[g], lats[g] = done, lat
+					errCount[g], lastErr[g] = failed, err1
+					traces[g] = trs
 					return
 				default:
 				}
 				key++
+				opCtx := ctx
+				var tr *client.Trace
+				if traceEvery > 0 && key%uint64(traceEvery) == 0 && len(trs) < traceSamples {
+					tr = &client.Trace{}
+					opCtx = client.WithTrace(ctx, tr)
+				}
 				t0 := time.Now()
-				if _, err := c.Add(ctx, shard.HashUint64(key), deltas); err != nil {
-					counts[g], lats[g] = done, lat
-					errs <- fmt.Errorf("bench: net worker %d: %w", g, err)
-					return
+				if _, err := c.Add(opCtx, shard.HashUint64(key), deltas); err != nil {
+					// Count and keep going: a closed-loop worker that aborts
+					// on the first error silently removes its share of the
+					// offered load for the rest of the window.
+					failed++
+					err1 = fmt.Errorf("bench: net worker %d: %w", g, err)
+					continue
 				}
 				d := time.Since(t0)
 				done++
+				if tr != nil {
+					trs = append(trs, *tr)
+				}
 				if len(lat) < latencySamples {
 					lat = append(lat, d)
 				} else if done%16 == 0 { // decimate once full, keeping tail coverage
@@ -115,27 +156,37 @@ func NetLoadClosedLoop(addr string, conns, workers, w int, dur time.Duration) (N
 	close(stopped)
 	wg.Wait()
 	elapsed := time.Since(start).Seconds()
-	select {
-	case err := <-errs:
-		return NetLoadResult{}, err
-	default:
-	}
 
-	var total int64
+	var total, totalErrs int64
+	var someErr error
 	var all []time.Duration
 	for g := range counts {
 		total += counts[g]
+		totalErrs += errCount[g]
+		if lastErr[g] != nil {
+			someErr = lastErr[g]
+		}
 		all = append(all, lats[g]...)
 	}
 	if total == 0 {
+		if someErr != nil {
+			return NetLoadResult{}, fmt.Errorf("bench: no net ops completed (%d errors, e.g. %v)", totalErrs, someErr)
+		}
 		return NetLoadResult{}, fmt.Errorf("bench: no net ops completed")
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	res := NetLoadResult{
 		Ops:       total,
+		Errs:      totalErrs,
 		OpsPerSec: float64(total) / elapsed,
 		P50:       all[len(all)/2],
 		P99:       all[len(all)*99/100],
+	}
+	if someErr != nil {
+		res.LastErr = someErr.Error()
+	}
+	for g := range traces {
+		res.Traces = append(res.Traces, traces[g]...)
 	}
 	if after, err := c.Stats(context.Background()); err == nil {
 		if db := after.Batches - before.Batches; db > 0 {
@@ -200,7 +251,7 @@ func E11NetServing(o Options) (*Table, error) {
 			}
 			defer srv.Close()
 			for _, p := range points {
-				res, err := NetLoadClosedLoop(addr, p.conns, p.conns*p.perConn, w, o.Dur)
+				res, err := NetLoadClosedLoop(addr, p.conns, p.conns*p.perConn, w, o.Dur, 0)
 				if err != nil {
 					return fmt.Errorf("conns=%d inflight=%d: %w", p.conns, p.conns*p.perConn, err)
 				}

@@ -1,8 +1,11 @@
 package bench
 
 import (
+	"strings"
 	"testing"
 	"time"
+
+	"mwllsc/internal/trace"
 )
 
 func TestNetLoadClosedLoop(t *testing.T) {
@@ -11,7 +14,7 @@ func TestNetLoadClosedLoop(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	res, err := NetLoadClosedLoop(addr, 2, 4, 2, 30*time.Millisecond)
+	res, err := NetLoadClosedLoop(addr, 2, 4, 2, 30*time.Millisecond, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,9 +35,43 @@ func TestNetLoadWrongWidthFails(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	// w=1 against a W=4 server: the server rejects every Add.
-	if _, err := NetLoadClosedLoop(addr, 1, 1, 1, 20*time.Millisecond); err == nil {
+	// w=1 against a W=4 server: the server rejects every Add. The worker
+	// counts and continues, so the zero-success error must report more
+	// than one failure — proof it did not abort on the first.
+	_, err = NetLoadClosedLoop(addr, 1, 1, 1, 20*time.Millisecond, 0)
+	if err == nil {
 		t.Fatal("width mismatch went unnoticed")
+	}
+	if !strings.Contains(err.Error(), "errors") {
+		t.Fatalf("error does not carry the failure count: %v", err)
+	}
+}
+
+func TestNetLoadTraced(t *testing.T) {
+	srv, addr, err := StartLoopbackServer(4, 4, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	res, err := NetLoadClosedLoop(addr, 1, 2, 2, 30*time.Millisecond, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Traces) == 0 {
+		t.Fatal("traceEvery=4 collected no traces")
+	}
+	for _, tr := range res.Traces {
+		if tr.ID == 0 || tr.Total <= 0 {
+			t.Fatalf("incomplete trace: %+v", tr)
+		}
+		// The loopback server runs with a tracer attached, so the
+		// server-side stage breakdown must come back on the wire.
+		if len(tr.ServerStages) != trace.WireStages {
+			t.Fatalf("trace has %d server stages, want %d: %+v", len(tr.ServerStages), trace.WireStages, tr)
+		}
+	}
+	if res.Errs != 0 {
+		t.Fatalf("unexpected op errors: %d (%s)", res.Errs, res.LastErr)
 	}
 }
 

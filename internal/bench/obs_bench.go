@@ -62,7 +62,7 @@ func E14ObsOverhead(o Options) (*Table, error) {
 				}
 				go s.Serve()
 				defer s.Close()
-				res, err := NetLoadClosedLoop(addr.String(), conns, conns*perConn, w, o.Dur)
+				res, err := NetLoadClosedLoop(addr.String(), conns, conns*perConn, w, o.Dur, 0)
 				if err != nil {
 					return err
 				}

@@ -89,7 +89,7 @@ func e12Point(t *Table, procs int, name string, durable bool, policy persist.Pol
 	go s.Serve()
 	defer s.Close()
 
-	res, err := NetLoadClosedLoop(addr.String(), conns, workers, w, o.Dur)
+	res, err := NetLoadClosedLoop(addr.String(), conns, workers, w, o.Dur, 0)
 	if err != nil {
 		return err
 	}

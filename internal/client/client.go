@@ -74,6 +74,52 @@ func WithSendQueue(n int) Option {
 // ErrClosed is returned by calls on a closed Client.
 var ErrClosed = errors.New("client: closed")
 
+// Trace is one traced call's client-side record. Pass it to a call via
+// WithTrace; when the call returns, the client has filled in the
+// client-side stage durations and any server-side breakdown the
+// response carried. A Trace must not be shared across concurrent calls.
+type Trace struct {
+	// ID is the trace id the request carries on the wire. Zero asks the
+	// client to generate one (filled in before the request is sent).
+	ID uint64
+	// QueueWait is the send-queue wait: from the call enqueueing its
+	// encoded request to the writer goroutine picking it up.
+	QueueWait time.Duration
+	// RoundTrip covers the wire and the server: from the writer picking
+	// the request up to the response being decoded.
+	RoundTrip time.Duration
+	// Total is the call's full client-side duration (QueueWait +
+	// RoundTrip, measured independently).
+	Total time.Duration
+	// ServerStages holds the server's echoed per-stage durations in
+	// nanoseconds, in internal/trace stage order (decode, queue,
+	// acquire, execute, persist, fsync). Empty when the server did not
+	// echo a breakdown (old server, or its span free list ran dry).
+	ServerStages []uint64
+}
+
+// traceKey carries a *Trace through a context.
+type traceKey struct{}
+
+// WithTrace returns a context that traces the one call made with it:
+// the request is flagged on the wire (the server traces it under
+// t.ID and echoes its stage breakdown) and t is filled in when the
+// call completes. The caller owns t; reuse it only sequentially.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// traceSeed feeds generated trace ids (splitmix64 over a shared
+// counter: unique process-wide, no coordination with the server).
+var traceSeed atomic.Uint64
+
+func nextTraceID() uint64 {
+	z := traceSeed.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // Client is a pooled connection to one llscd server.
 type Client struct {
 	conns  []*conn
@@ -282,11 +328,23 @@ func wordsOf(rows [][]uint64) int {
 	return len(rows[0])
 }
 
-// pending is one in-flight request's completion slot.
+// pending is one in-flight request's completion slot. sentNS is the
+// wall-clock instant the writer goroutine dequeued the request, stored
+// atomically because no other happens-before edge links the writer to
+// the caller that reads it after completion.
 type pending struct {
-	done chan struct{}
-	resp wire.Response
-	err  error
+	done   chan struct{}
+	resp   wire.Response
+	err    error
+	sentNS atomic.Int64
+}
+
+// sendReq is one queued request: its encoded payload, plus its pending
+// slot when the call is traced (nil otherwise) so the writer can stamp
+// the send-queue wait.
+type sendReq struct {
+	payload []byte
+	traced  *pending
 }
 
 // conn is one pooled connection: a send queue drained by a writer
@@ -294,7 +352,7 @@ type pending struct {
 // pendings by id.
 type conn struct {
 	nc     net.Conn
-	send   chan []byte   // encoded request payloads awaiting the writer
+	send   chan sendReq  // encoded requests awaiting the writer
 	dead   chan struct{} // closed when the conn fails or is closed
 	close1 sync.Once
 
@@ -307,7 +365,7 @@ type conn struct {
 func newConn(nc net.Conn, queue int) *conn {
 	cn := &conn{
 		nc:   nc,
-		send: make(chan []byte, queue),
+		send: make(chan sendReq, queue),
 		dead: make(chan struct{}),
 		pend: make(map[uint64]*pending),
 	}
@@ -343,6 +401,13 @@ func (cn *conn) close(err error) {
 // do registers a pending slot, enqueues the encoded request, and waits.
 func (cn *conn) do(ctx context.Context, req *wire.Request) (*wire.Response, error) {
 	p := &pending{done: make(chan struct{})}
+	tr, _ := ctx.Value(traceKey{}).(*Trace)
+	if tr != nil {
+		if tr.ID == 0 {
+			tr.ID = nextTraceID()
+		}
+		req.Traced, req.TraceID = true, tr.ID
+	}
 
 	cn.mu.Lock()
 	if cn.broken != nil {
@@ -356,8 +421,14 @@ func (cn *conn) do(ctx context.Context, req *wire.Request) (*wire.Response, erro
 	cn.mu.Unlock()
 
 	req.ID = id
+	sr := sendReq{payload: wire.AppendRequest(nil, req)}
+	var tEnq time.Time
+	if tr != nil {
+		sr.traced = p
+		tEnq = time.Now()
+	}
 	select {
-	case cn.send <- wire.AppendRequest(nil, req):
+	case cn.send <- sr:
 	case <-ctx.Done():
 		cn.forget(id)
 		return nil, ctx.Err()
@@ -369,6 +440,19 @@ func (cn *conn) do(ctx context.Context, req *wire.Request) (*wire.Response, erro
 	case <-p.done:
 		if p.err != nil {
 			return nil, p.err
+		}
+		if tr != nil {
+			end := time.Now()
+			tr.Total = end.Sub(tEnq)
+			if ns := p.sentNS.Load(); ns != 0 {
+				sent := time.Unix(0, ns)
+				tr.QueueWait = sent.Sub(tEnq)
+				tr.RoundTrip = end.Sub(sent)
+			}
+			tr.ServerStages = tr.ServerStages[:0]
+			if p.resp.Traced {
+				tr.ServerStages = append(tr.ServerStages, p.resp.Stages...)
+			}
 		}
 		return &p.resp, nil
 	case <-ctx.Done():
@@ -390,13 +474,16 @@ func (cn *conn) forget(id uint64) {
 func (cn *conn) writeLoop() {
 	bw := bufio.NewWriterSize(cn.nc, 64<<10)
 	for {
-		var payload []byte
+		var sr sendReq
 		select {
-		case payload = <-cn.send:
+		case sr = <-cn.send:
 		case <-cn.dead:
 			return
 		}
-		if err := wire.WriteFrame(bw, payload); err != nil {
+		if sr.traced != nil {
+			sr.traced.sentNS.Store(time.Now().UnixNano())
+		}
+		if err := wire.WriteFrame(bw, sr.payload); err != nil {
 			cn.close(fmt.Errorf("client: write: %w", err))
 			return
 		}
@@ -405,7 +492,10 @@ func (cn *conn) writeLoop() {
 		for {
 			select {
 			case next := <-cn.send:
-				if err := wire.WriteFrame(bw, next); err != nil {
+				if next.traced != nil {
+					next.traced.sentNS.Store(time.Now().UnixNano())
+				}
+				if err := wire.WriteFrame(bw, next.payload); err != nil {
 					cn.close(fmt.Errorf("client: write: %w", err))
 					return
 				}

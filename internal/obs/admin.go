@@ -12,8 +12,10 @@ import (
 // standard net/http/pprof handlers under /debug/pprof/. The mux is
 // registered explicitly — nothing leaks onto http.DefaultServeMux —
 // so tests and embedders can mount it wherever they like. healthz
-// may be nil, meaning always healthy.
-func NewAdminMux(reg *Registry, healthz func() error) *http.ServeMux {
+// may be nil, meaning always healthy. buildInfo (typically
+// BuildInfo()) is echoed on /healthz after the ok line so probes can
+// tell which build answered; empty omits it.
+func NewAdminMux(reg *Registry, healthz func() error, buildInfo string) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -32,6 +34,9 @@ func NewAdminMux(reg *Registry, healthz func() error) *http.ServeMux {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+		if buildInfo != "" {
+			fmt.Fprintln(w, buildInfo)
+		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -25,7 +25,7 @@ func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
 
 func TestAdminMux(t *testing.T) {
 	reg, _ := testRegistry()
-	srv := httptest.NewServer(NewAdminMux(reg, nil))
+	srv := httptest.NewServer(NewAdminMux(reg, nil, "mwllsc test-build abc123"))
 	defer srv.Close()
 
 	code, body := get(t, srv, "/metrics")
@@ -40,6 +40,9 @@ func TestAdminMux(t *testing.T) {
 	if code != 200 || !strings.Contains(body, "ok") {
 		t.Errorf("/healthz: code=%d body=%q", code, body)
 	}
+	if !strings.Contains(body, "mwllsc test-build abc123") {
+		t.Errorf("/healthz: missing build info: body=%q", body)
+	}
 	code, body = get(t, srv, "/debug/pprof/cmdline")
 	if code != 200 {
 		t.Errorf("/debug/pprof/cmdline: code=%d body=%q", code, body)
@@ -52,7 +55,7 @@ func TestAdminMux(t *testing.T) {
 
 func TestAdminHealthzUnhealthy(t *testing.T) {
 	reg := NewRegistry()
-	srv := httptest.NewServer(NewAdminMux(reg, func() error { return errors.New("log device on fire") }))
+	srv := httptest.NewServer(NewAdminMux(reg, func() error { return errors.New("log device on fire") }, ""))
 	defer srv.Close()
 	code, body := get(t, srv, "/healthz")
 	if code != http.StatusServiceUnavailable || !strings.Contains(body, "log device on fire") {

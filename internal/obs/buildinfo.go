@@ -1,0 +1,38 @@
+package obs
+
+import "runtime/debug"
+
+// BuildInfo returns a one-line build identity — module path and
+// version, vcs revision (and dirty marker) when the binary was built
+// from a checkout, and the Go toolchain — for the llscd startup banner,
+// the /healthz response, and bench report environment blocks: the first
+// question about any surprising number is "which build produced it?".
+func BuildInfo() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "build unknown"
+	}
+	ver := bi.Main.Version
+	if ver == "" {
+		ver = "(devel)"
+	}
+	out := bi.Main.Path + " " + ver
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		out += " " + rev + dirty
+	}
+	return out + " " + bi.GoVersion
+}

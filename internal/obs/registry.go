@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -77,7 +78,7 @@ func (r *Registry) snapshot() []metric {
 // readable.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, m := range r.snapshot() {
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.kind); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, escapeHelp(m.help), m.name, m.kind); err != nil {
 			return err
 		}
 		switch m.kind {
@@ -93,7 +94,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 					continue // top bucket is the +Inf line below
 				}
 				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n",
-					m.name, promFloat(float64(BucketBound(b))*m.scale), cum); err != nil {
+					m.name, escapeLabel(promFloat(float64(BucketBound(b))*m.scale)), cum); err != nil {
 					return err
 				}
 			}
@@ -115,6 +116,22 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 func promFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
+
+// helpEscaper and labelEscaper implement the text format's (version
+// 0.0.4) two escaping rules: HELP text escapes backslash and newline;
+// label values additionally escape the double quote that would
+// otherwise terminate them. Metric names are identifiers and need
+// neither.
+var (
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	labelEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+)
+
+// escapeHelp escapes s for use as HELP text.
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+// escapeLabel escapes s for use as a label value.
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
 
 // HistStats is the JSON shape of one histogram in /statsz.
 type HistStats struct {

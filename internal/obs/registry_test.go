@@ -89,6 +89,52 @@ func TestWriteStatsz(t *testing.T) {
 	}
 }
 
+func TestPrometheusEscaping(t *testing.T) {
+	// The 0.0.4 text format's two escaping rules, table-driven: HELP
+	// text escapes backslash and newline; label values additionally
+	// escape the double quote.
+	cases := []struct {
+		name        string
+		in          string
+		help, label string
+	}{
+		{"plain", "Requests executed.", "Requests executed.", "Requests executed."},
+		{"backslash", `path C:\tmp`, `path C:\\tmp`, `path C:\\tmp`},
+		{"newline", "line one\nline two", `line one\nline two`, `line one\nline two`},
+		{"quote", `say "hi"`, `say "hi"`, `say \"hi\"`},
+		{"mixed", "a\\b\n\"c\"", `a\\b\n"c"`, `a\\b\n\"c\"`},
+		{"empty", "", "", ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := escapeHelp(c.in); got != c.help {
+				t.Errorf("escapeHelp(%q) = %q, want %q", c.in, got, c.help)
+			}
+			if got := escapeLabel(c.in); got != c.label {
+				t.Errorf("escapeLabel(%q) = %q, want %q", c.in, got, c.label)
+			}
+		})
+	}
+
+	// End to end: a help string with every special character renders as
+	// one well-formed HELP line.
+	reg := NewRegistry()
+	reg.Counter("esc_total", "count of \"x\\y\"\nsecond line", func() uint64 { return 1 })
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP esc_total count of "x\\y"\nsecond line` + "\n"
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("HELP line not escaped:\n%s", buf.String())
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "#") && !strings.HasPrefix(line, "# HELP") && !strings.HasPrefix(line, "# TYPE") {
+			t.Errorf("stray comment line (unescaped newline?): %q", line)
+		}
+	}
+}
+
 func TestReRegistrationReplaces(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("x", "first", func() uint64 { return 1 })

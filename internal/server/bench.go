@@ -4,6 +4,7 @@ import (
 	"runtime"
 
 	"mwllsc/internal/shard"
+	"mwllsc/internal/trace"
 	"mwllsc/internal/wire"
 )
 
@@ -30,12 +31,13 @@ func HotPathAllocs(runs int) (readAllocs, updateAllocs float64, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	// Metrics on: the zero-allocs gate must hold with observability
-	// enabled, or the obs layer would quietly exempt itself from the
-	// discipline it exists to watch.
-	s := New(m, WithMetrics(NewMetrics(m.N())))
+	// Metrics on, tracer attached with sampling off: the zero-allocs
+	// gate must hold with the full observability stack compiled in, or
+	// the obs and trace layers would quietly exempt themselves from the
+	// discipline they exist to watch.
+	s := New(m, WithMetrics(NewMetrics(m.N())), WithTracer(trace.New(trace.Config{})))
 	cs := s.newConnState()
-	out := make(chan *wire.Response, 2*batchN)
+	out := make(chan outResp, 2*batchN)
 
 	args := []uint64{1, 2}
 	mkBatch := func(op wire.Op) {
@@ -56,7 +58,7 @@ func HotPathAllocs(runs int) (readAllocs, updateAllocs float64, err error) {
 	round := func() {
 		s.executeBatch(cs, out)
 		for i := 0; i < batchN; i++ {
-			cs.putResp(<-out)
+			cs.putResp((<-out).resp)
 		}
 	}
 

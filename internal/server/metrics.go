@@ -101,6 +101,13 @@ func (s *Server) RegisterMetrics(reg *obs.Registry) {
 		reg.Histogram("llscd_update_attempts", "LL/SC attempts per Update/UpdateMulti (1 = no conflict).",
 			1, s.metrics.Attempts)
 	}
+	if s.tracer != nil {
+		tr := s.tracer
+		reg.Counter("llscd_trace_spans_total", "Trace spans completed and retired into the rings.",
+			func() uint64 { return tr.Stats().Retired })
+		reg.Counter("llscd_trace_dropped_total", "Traces skipped because the span free list ran dry.",
+			func() uint64 { return tr.Stats().Dropped })
+	}
 	if s.persist != nil {
 		st := s.persist
 		reg.Counter("llscd_persist_records_total", "Records appended to the durability log.",

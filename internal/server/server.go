@@ -30,11 +30,13 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mwllsc/internal/obs"
 	"mwllsc/internal/persist"
 	"mwllsc/internal/shard"
+	"mwllsc/internal/trace"
 	"mwllsc/internal/wire"
 )
 
@@ -58,6 +60,15 @@ func WithLogf(logf func(format string, args ...any)) Option {
 	return func(s *Server) { s.logf = logf }
 }
 
+// WithTracer attaches a per-request tracing layer (internal/trace).
+// Requests become traced when the client flags them on the wire or the
+// tracer head-samples them (Config.SampleN); everything else pays one
+// branch per request plus one clock read per batch. nil (the default)
+// disables tracing entirely.
+func WithTracer(t *trace.Tracer) Option {
+	return func(s *Server) { s.tracer = t }
+}
+
 // WithPersist attaches a durability store (internal/persist): every
 // committed Update/UpdateMulti is appended to the store's per-shard log
 // after its batch executes — outside the registry slot, so disk I/O
@@ -75,6 +86,7 @@ type Server struct {
 	logf     func(format string, args ...any)
 	persist  *persist.Store
 	metrics  *Metrics
+	tracer   *trace.Tracer
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -109,6 +121,9 @@ func New(m *shard.Map, opts ...Option) *Server {
 
 // Map returns the served map.
 func (s *Server) Map() *shard.Map { return s.m }
+
+// Tracer returns the attached tracer, nil when none.
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
 
 // ErrClosed is returned by Serve after Close.
 var ErrClosed = errors.New("server: closed")
@@ -285,6 +300,28 @@ type connState struct {
 	rec        *persist.Record // nil when the op is not persisted
 	mergeOne   func(v []uint64)
 	mergeMulti func(vals [][]uint64)
+
+	// Tracing state. tRead is the batch head's arrival stamp — the one
+	// clock read the untraced path pays per batch when a tracer is
+	// attached. sampleCtr counts toward the next head sample; rng is the
+	// per-connection trace-id generator (splitmix64), contention-free
+	// because it is never shared.
+	tRead     time.Time
+	sampleCtr uint64
+	rng       uint64
+}
+
+// connSeed differentiates the per-connection trace-id rng streams.
+var connSeed atomic.Uint64
+
+// nextTraceID returns the next generated trace id (for head-sampled
+// spans; wire-flagged spans carry the client's id).
+func (cs *connState) nextTraceID() uint64 {
+	cs.rng += 0x9e3779b97f4a7c15
+	z := cs.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 func (s *Server) newConnState() *connState {
@@ -296,6 +333,7 @@ func (s *Server) newConnState() *connState {
 		// plus one executing batch, so recycled responses are almost
 		// never dropped.
 		free: make(chan *wire.Response, 5*s.maxBatch),
+		rng:  uint64(time.Now().UnixNano()) ^ connSeed.Add(1)<<32,
 	}
 	cs.mergeOne = func(v []uint64) {
 		wire.Merge(v, cs.args, cs.mode)
@@ -324,6 +362,7 @@ func (cs *connState) getResp() *wire.Response {
 		r.Status = wire.StatusOK
 		r.Attempts, r.Rows, r.Words = 0, 0, 0
 		r.Data, r.Err = r.Data[:0], ""
+		r.Traced, r.TraceID, r.Stages = false, 0, r.Stages[:0]
 		return r
 	default:
 		return &wire.Response{}
@@ -365,7 +404,7 @@ func (s *Server) serveConn(c net.Conn) {
 	// The writer owns the outbound half: it encodes responses arriving on
 	// out and flushes whenever the queue runs dry. Buffered so the reader
 	// can race ahead within a batch.
-	out := make(chan *wire.Response, 4*s.maxBatch)
+	out := make(chan outResp, 4*s.maxBatch)
 	cs := s.newConnState()
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
@@ -383,16 +422,45 @@ func (s *Server) serveConn(c net.Conn) {
 // small-op responses, far below the 256 KiB coalescing bound.
 const writeBufCap = 64 << 10
 
+// outResp is one completed response on its way to the writer, paired
+// with its trace span when the request was traced (nil otherwise). The
+// span travels with the response because its final stage — writer
+// coalesce + flush — only closes after the write that carries it.
+type outResp struct {
+	resp *wire.Response
+	span *trace.Span
+}
+
 // writeLoop encodes responses and writes them with frame coalescing: it
 // keeps appending frames to one buffer while more responses are queued
 // and hands the kernel a single write when the queue is empty. Encoded
-// responses return to the connection's arena.
-func (s *Server) writeLoop(c net.Conn, out <-chan *wire.Response, cs *connState) {
+// responses return to the connection's arena; trace spans finish (flush
+// stage + total) after the write that put them on the wire and retire
+// into the tracer's rings.
+func (s *Server) writeLoop(c net.Conn, out <-chan outResp, cs *connState) {
 	buf := make([]byte, 0, writeBufCap)
 	payload := make([]byte, 0, 4<<10)
-	for resp := range out {
-		payload = wire.AppendResponse(payload[:0], resp)
-		cs.putResp(resp)
+	var spans []*trace.Span // spans riding in buf, finished at its flush
+	finish := func(failed bool) {
+		if len(spans) == 0 {
+			return
+		}
+		now := time.Now()
+		for _, sp := range spans {
+			if failed {
+				sp.Err = true
+			}
+			sp.Finish(now)
+			s.tracer.Retire(sp)
+		}
+		spans = spans[:0]
+	}
+	for or := range out {
+		payload = wire.AppendResponse(payload[:0], or.resp)
+		cs.putResp(or.resp)
+		if or.span != nil {
+			spans = append(spans, or.span)
+		}
 		buf = wire.AppendFrame(buf[:0], payload)
 		// Coalesce whatever else is already queued.
 		for len(buf) < 256<<10 {
@@ -401,11 +469,17 @@ func (s *Server) writeLoop(c net.Conn, out <-chan *wire.Response, cs *connState)
 				if !ok {
 					if _, err := c.Write(buf); err != nil {
 						s.logf("server: write to %v: %v", c.RemoteAddr(), err)
+						finish(true)
+						return
 					}
+					finish(false)
 					return
 				}
-				payload = wire.AppendResponse(payload[:0], next)
-				cs.putResp(next)
+				payload = wire.AppendResponse(payload[:0], next.resp)
+				cs.putResp(next.resp)
+				if next.span != nil {
+					spans = append(spans, next.span)
+				}
 				buf = wire.AppendFrame(buf, payload)
 			default:
 				goto flush
@@ -414,11 +488,20 @@ func (s *Server) writeLoop(c net.Conn, out <-chan *wire.Response, cs *connState)
 	flush:
 		if _, err := c.Write(buf); err != nil {
 			s.logf("server: write to %v: %v", c.RemoteAddr(), err)
-			// Drain so the reader never blocks on a dead connection.
-			for range out {
+			finish(true)
+			// Drain so the reader never blocks on a dead connection;
+			// in-flight spans still retire (marked Err) so they are not
+			// lost from the free list.
+			for or := range out {
+				if or.span != nil {
+					or.span.Err = true
+					or.span.Finish(time.Now())
+					s.tracer.Retire(or.span)
+				}
 			}
 			return
 		}
+		finish(false)
 		// A snapshot-sized response grows these past any steady-state
 		// need; release the oversized arrays instead of pinning them.
 		if cap(buf) > 4*writeBufCap {
@@ -431,15 +514,17 @@ func (s *Server) writeLoop(c net.Conn, out <-chan *wire.Response, cs *connState)
 }
 
 // batchReq is one decoded request waiting in a batch, with its target
-// shard precomputed for grouping.
+// shard precomputed for grouping and its trace span when the request is
+// traced (nil otherwise).
 type batchReq struct {
 	req    wire.Request
 	shardI int // target shard for Read/Update; -1 otherwise
+	span   *trace.Span
 }
 
 // readLoop decodes frames into batches and executes them. It returns on
 // any read or protocol error (the connection is then closed).
-func (s *Server) readLoop(c net.Conn, out chan<- *wire.Response, cs *connState) {
+func (s *Server) readLoop(c net.Conn, out chan<- outResp, cs *connState) {
 	br := bufio.NewReaderSize(c, 64<<10)
 	var frame []byte
 	for {
@@ -448,6 +533,12 @@ func (s *Server) readLoop(c net.Conn, out chan<- *wire.Response, cs *connState) 
 		frame, err = wire.ReadFrame(br, frame)
 		if err != nil {
 			return
+		}
+		if s.tracer != nil {
+			// The batch head's arrival anchors every span in the batch;
+			// stamping it here (after the blocking read, before decode) is
+			// tracing's only per-batch cost on the untraced path.
+			cs.tRead = time.Now()
 		}
 		cs.batch = cs.batch[:0]
 		frame = s.appendDecoded(cs, frame, out)
@@ -487,8 +578,10 @@ func frameBuffered(br *bufio.Reader) bool {
 }
 
 // appendDecoded decodes frame into a new batch slot; malformed requests
-// are answered immediately with StatusBadRequest and not batched.
-func (s *Server) appendDecoded(cs *connState, frame []byte, out chan<- *wire.Response) []byte {
+// are answered immediately with StatusBadRequest and not batched. For
+// wire-flagged or head-sampled requests it also draws the trace span the
+// batch executor will stamp.
+func (s *Server) appendDecoded(cs *connState, frame []byte, out chan<- outResp) []byte {
 	// Reslice over a recycled slot when possible: DecodeRequest resets
 	// every field and reuses the slot's Keys/Args backing arrays, which
 	// is where the per-request allocations would otherwise be.
@@ -499,15 +592,26 @@ func (s *Server) appendDecoded(cs *connState, frame []byte, out chan<- *wire.Res
 		batch = append(batch, batchReq{})
 	}
 	br := &batch[len(batch)-1]
+	br.span = nil // recycled slot may hold a retired span's pointer
 	if err := wire.DecodeRequest(&br.req, frame); err != nil {
 		s.ctrs.Inc(0, cBadReqs)
 		// A frame too mangled to carry an id gets id 0; the client will
 		// drop it but the stream stays framed.
 		resp := cs.getResp()
 		resp.ID, resp.Status, resp.Err = br.req.ID, wire.StatusBadRequest, err.Error()
-		out <- resp
+		out <- outResp{resp: resp}
 		cs.batch = batch[:len(batch)-1]
 		return frame
+	}
+	if tr := s.tracer; tr != nil {
+		if br.req.Traced {
+			br.span = tr.Get() // nil when the free list is dry: serve untraced
+		} else if n := tr.SampleN(); n > 0 {
+			if cs.sampleCtr++; cs.sampleCtr >= n {
+				cs.sampleCtr = 0
+				br.span = tr.Get()
+			}
+		}
 	}
 	switch br.req.Op {
 	case wire.OpRead, wire.OpUpdate:
@@ -535,14 +639,28 @@ func (s *Server) appendDecoded(cs *connState, frame []byte, out chan<- *wire.Res
 // responses, and blocking on it while holding a registry slot would let
 // one non-reading connection pin a process id that every other
 // connection (and in-process callers) may be waiting for.
-func (s *Server) executeBatch(cs *connState, out chan<- *wire.Response) {
+func (s *Server) executeBatch(cs *connState, out chan<- outResp) {
 	batch := cs.batch
 	if len(batch) == 0 {
 		return
 	}
+	// One branch decides whether this batch pays for stage stamping:
+	// every timestamp below is taken once per batch and attributed to
+	// every traced span in it (the same batch-window attribution the
+	// Metrics histograms use), which also makes each span's stage sum
+	// equal its total by construction.
+	traced := false
+	if s.tracer != nil {
+		for i := range batch {
+			if batch[i].span != nil {
+				traced = true
+				break
+			}
+		}
+	}
 	var t0 time.Time
-	if s.metrics != nil {
-		t0 = time.Now()
+	if s.metrics != nil || traced {
+		t0 = time.Now() // end of decode: frames read + batch gathered
 	}
 	for lo := 0; lo < len(batch); {
 		if batch[lo].shardI < 0 {
@@ -559,12 +677,20 @@ func (s *Server) executeBatch(cs *connState, out chan<- *wire.Response) {
 	cs.resps = cs.resps[:0]
 	cs.recs = cs.recs[:0]
 	cs.recResp = cs.recResp[:0]
+	var tQueue time.Time
+	if traced {
+		tQueue = time.Now() // sort + queue wait over, acquire begins
+	}
 	if cs.h == nil {
 		cs.h = s.m.Acquire()
 	} else {
 		cs.h.Reacquire()
 	}
 	h := cs.h
+	var tAcquire time.Time
+	if traced {
+		tAcquire = time.Now()
+	}
 	// Stats stripe for everything this batch does: the registry slot we
 	// just acquired. Another executor necessarily holds a different slot
 	// and therefore writes different cache lines.
@@ -589,13 +715,25 @@ func (s *Server) executeBatch(cs *connState, out chan<- *wire.Response) {
 		cs.resps = append(cs.resps, resp)
 	}
 	h.Release()
+	var tExecute time.Time
+	if traced {
+		tExecute = time.Now()
+	}
+	tPersist, tFsync := tExecute, tExecute // stay zero-width without persistence
 	// Durability happens here: after execution, outside the registry
 	// slot, before the responses flush. The record slices alias the
 	// batch's decode buffers, which stay untouched until the next batch.
 	if len(cs.recs) > 0 {
 		err := s.persist.Append(cs.recs)
+		if traced {
+			tPersist = time.Now()
+			tFsync = tPersist
+		}
 		if err == nil && s.persist.Policy() == persist.SyncAlways {
 			err = s.persist.Sync()
+			if traced {
+				tFsync = time.Now()
+			}
 		}
 		if err != nil {
 			s.logf("server: persistence: %v", err)
@@ -624,8 +762,43 @@ func (s *Server) executeBatch(cs *connState, out chan<- *wire.Response) {
 		s.metrics.Service.ObserveN(p, d, uint64(len(batch)))
 		s.metrics.Batch.Observe(p, uint64(len(batch)))
 	}
-	for _, resp := range cs.resps {
-		out <- resp
+	if traced {
+		// Stamp every traced span with the batch's stage windows and echo
+		// the breakdown on wire-flagged requests' responses. The flush
+		// stage and the total close in the writer, after the write that
+		// carries the response out.
+		for i := range batch {
+			sp := batch[i].span
+			if sp == nil {
+				continue
+			}
+			req, resp := &batch[i].req, cs.resps[i]
+			sp.Begin(cs.tRead)
+			sp.Stamp(trace.StageDecode, t0)
+			sp.Stamp(trace.StageQueue, tQueue)
+			sp.Stamp(trace.StageAcquire, tAcquire)
+			sp.Stamp(trace.StageExecute, tExecute)
+			sp.Stamp(trace.StagePersist, tPersist)
+			sp.Stamp(trace.StageFsync, tFsync)
+			sp.Op = uint8(req.Op)
+			sp.Key = req.Key
+			sp.Attempts = resp.Attempts
+			sp.Batch = uint32(len(batch))
+			sp.Err = resp.Status != wire.StatusOK
+			if req.Traced {
+				sp.TraceID = req.TraceID
+				if resp.Status == wire.StatusOK {
+					resp.Traced, resp.TraceID = true, sp.TraceID
+					resp.Stages = append(resp.Stages[:0], sp.Stages[:trace.WireStages]...)
+				}
+			} else {
+				sp.Sampled = true
+				sp.TraceID = cs.nextTraceID()
+			}
+		}
+	}
+	for i, resp := range cs.resps {
+		out <- outResp{resp: resp, span: batch[i].span}
 	}
 }
 

@@ -48,11 +48,11 @@ func TestExecuteBatchCountsOnHeldSlotStripe(t *testing.T) {
 		t.Fatalf("counter stripes = %d, want one per registry slot = %d", got, m.N())
 	}
 	cs := s.newConnState()
-	out := make(chan *wire.Response, 2*batchN)
+	out := make(chan outResp, 2*batchN)
 	mkReadBatch(m, cs, batchN)
 	s.executeBatch(cs, out)
 	for i := 0; i < batchN; i++ {
-		cs.putResp(<-out)
+		cs.putResp((<-out).resp)
 	}
 	p := cs.h.Process()
 	for st := 0; st < s.ctrs.Stripes(); st++ {
@@ -98,12 +98,12 @@ func TestCounterStripingUnderParallelLoad(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			cs := s.newConnState()
-			out := make(chan *wire.Response, 2*batchN)
+			out := make(chan outResp, 2*batchN)
 			for r := 0; r < rounds; r++ {
 				mkReadBatch(m, cs, batchN)
 				s.executeBatch(cs, out)
 				for i := 0; i < batchN; i++ {
-					cs.putResp(<-out)
+					cs.putResp((<-out).resp)
 				}
 			}
 		}()

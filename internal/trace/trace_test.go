@@ -1,0 +1,275 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// retireOne runs one synthetic span of the given total through t,
+// splitting the time over two stages so stage bookkeeping is visible.
+func retireOne(t *Tracer, id uint64, total time.Duration) {
+	s := t.Get()
+	if s == nil {
+		panic("free list dry in test")
+	}
+	base := time.Now()
+	s.Begin(base)
+	s.TraceID = id
+	s.Op, s.Key, s.Attempts, s.Batch = 3, 42, 1, 4
+	s.Stamp(StageDecode, base.Add(total/4))
+	s.Stamp(StageExecute, base.Add(3*total/4))
+	s.Finish(base.Add(total))
+	t.Retire(s)
+}
+
+func TestStageSumEqualsTotal(t *testing.T) {
+	var s Span
+	base := time.Now()
+	s.Begin(base)
+	s.Stamp(StageDecode, base.Add(10*time.Microsecond))
+	s.Stamp(StageQueue, base.Add(15*time.Microsecond))
+	s.Stamp(StageAcquire, base.Add(17*time.Microsecond))
+	s.Stamp(StageExecute, base.Add(100*time.Microsecond))
+	s.Stamp(StagePersist, base.Add(130*time.Microsecond))
+	s.Stamp(StageFsync, base.Add(180*time.Microsecond))
+	s.Finish(base.Add(200 * time.Microsecond))
+	var sum uint64
+	for _, d := range s.Stages {
+		sum += d
+	}
+	if sum != s.Total {
+		t.Fatalf("stage sum %d != total %d", sum, s.Total)
+	}
+	if s.Total != uint64(200*time.Microsecond) {
+		t.Fatalf("total = %d, want 200us", s.Total)
+	}
+	if got := s.Stages[StageExecute]; got != uint64(83*time.Microsecond) {
+		t.Fatalf("execute stage = %v, want 83us", time.Duration(got))
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := Span{
+		TraceID:  0xdeadbeefcafe,
+		Op:       6,
+		Sampled:  true,
+		Err:      true,
+		Attempts: 123456,
+		Batch:    64,
+		Key:      987,
+		Start:    1700000000123456789,
+		Total:    42_000,
+	}
+	for i := range in.Stages {
+		in.Stages[i] = uint64(i * 1000)
+	}
+	var w [spanWords]uint64
+	in.encode(&w)
+	var out Span
+	out.decode(&w)
+	if out != in {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestRecentRingNewestFirstAndOverwrite(t *testing.T) {
+	tr := New(Config{Recent: 4, SlowN: 2})
+	for i := 1; i <= 6; i++ {
+		retireOne(tr, uint64(i), time.Duration(i)*time.Millisecond)
+	}
+	got := tr.Recent(nil, 0)
+	if len(got) != 4 {
+		t.Fatalf("recent returned %d spans, want 4 (ring capacity)", len(got))
+	}
+	want := []uint64{6, 5, 4, 3} // newest first; 1 and 2 overwritten
+	for i, s := range got {
+		if s.TraceID != want[i] {
+			t.Fatalf("recent[%d].TraceID = %d, want %d (all: %+v)", i, s.TraceID, want[i], got)
+		}
+	}
+}
+
+func TestFreeListRecyclesWithoutGrowth(t *testing.T) {
+	tr := New(Config{Recent: 2, MaxLive: 3})
+	for i := 0; i < 100; i++ {
+		retireOne(tr, uint64(i), time.Millisecond)
+	}
+	if st := tr.Stats(); st.Retired != 100 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v, want 100 retired / 0 dropped", st)
+	}
+	// Drain the free list: exactly MaxLive spans exist, ever.
+	var live int
+	for tr.Get() != nil {
+		live++
+	}
+	if live != 3 {
+		t.Fatalf("free list held %d spans, want MaxLive=3", live)
+	}
+	if st := tr.Stats(); st.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1 (the failed Get)", st.Dropped)
+	}
+}
+
+func TestSlowWindowKeepsSlowest(t *testing.T) {
+	tr := New(Config{SlowN: 3, Recent: 8})
+	for _, ms := range []int{5, 1, 9, 2, 7, 3} {
+		retireOne(tr, uint64(ms), time.Duration(ms)*time.Millisecond)
+	}
+	got := tr.Slow(nil)
+	if len(got) != 3 {
+		t.Fatalf("slow window has %d spans, want 3", len(got))
+	}
+	want := []uint64{9, 7, 5} // slowest first
+	for i, s := range got {
+		if s.TraceID != want[i] {
+			t.Fatalf("slow[%d].TraceID = %d, want %d", i, s.TraceID, want[i])
+		}
+	}
+}
+
+func TestSlowThresholdLogsStructuredLine(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	tr := New(Config{
+		SlowN:         4,
+		SlowThreshold: 2 * time.Millisecond,
+		Logf: func(format string, args ...any) {
+			mu.Lock()
+			lines = append(lines, strings.TrimSpace(fmt.Sprintf(format, args...)))
+			mu.Unlock()
+		},
+	})
+	retireOne(tr, 0xabc, time.Millisecond)   // under threshold: no line
+	retireOne(tr, 0xdef, 5*time.Millisecond) // over: one line
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 1 {
+		t.Fatalf("slow log lines = %d, want 1: %q", len(lines), lines)
+	}
+	for _, want := range []string{"slow-op", "trace=0000000000000def", "total=5ms", "decode=", "execute=", "flush="} {
+		if !strings.Contains(lines[0], want) {
+			t.Fatalf("slow-op line missing %q: %s", want, lines[0])
+		}
+	}
+}
+
+func TestExemplarTracksMaxAndResets(t *testing.T) {
+	tr := New(Config{Recent: 8, SlowN: 2})
+	retireOne(tr, 1, time.Millisecond)
+	retireOne(tr, 2, 9*time.Millisecond)
+	retireOne(tr, 3, 2*time.Millisecond)
+	id, lat := tr.Exemplar()
+	if id != 2 || lat != uint64(9*time.Millisecond) {
+		t.Fatalf("exemplar = (%d, %v), want trace 2 at 9ms", id, time.Duration(lat))
+	}
+	if id, _ = tr.Exemplar(); id != 0 {
+		t.Fatalf("exemplar did not reset: %d", id)
+	}
+}
+
+func TestConcurrentRetireAndRead(t *testing.T) {
+	// Retirement races /tracez + /slowz readers; under -race this pins
+	// that the rings are safe to scrape mid-load.
+	tr := New(Config{Recent: 16, SlowN: 4, SlowThreshold: time.Microsecond,
+		Logf: func(string, ...any) {}})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := tr.Get()
+				if s == nil {
+					continue
+				}
+				base := time.Now()
+				s.Begin(base)
+				s.TraceID = uint64(g)<<32 | uint64(i)
+				s.Stamp(StageExecute, base.Add(time.Duration(i%7)*time.Microsecond))
+				s.Finish(base.Add(time.Duration(i%11) * time.Microsecond))
+				tr.Retire(s)
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		tr.Recent(nil, 0)
+		tr.Slow(nil)
+		tr.Exemplar()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestTracezAndSlowzHandlers(t *testing.T) {
+	tr := New(Config{Recent: 8, SlowN: 4, SampleN: 64})
+	retireOne(tr, 0x1111, 3*time.Millisecond)
+	retireOne(tr, 0x2222, time.Millisecond)
+
+	rec := httptest.NewRecorder()
+	tr.ServeTracez(rec, httptest.NewRequest("GET", "/tracez", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "json") {
+		t.Fatalf("/tracez content type %q", ct)
+	}
+	var page struct {
+		Kind    string `json:"kind"`
+		SampleN uint64 `json:"sample_n"`
+		Spans   []struct {
+			TraceID string            `json:"trace_id"`
+			TotalNS uint64            `json:"total_ns"`
+			Stages  map[string]uint64 `json:"stages_ns"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+		t.Fatalf("/tracez JSON: %v\n%s", err, rec.Body)
+	}
+	if page.Kind != "recent" || page.SampleN != 64 || len(page.Spans) != 2 {
+		t.Fatalf("/tracez page = %+v", page)
+	}
+	if page.Spans[0].TraceID != "0000000000002222" {
+		t.Fatalf("/tracez newest first: %+v", page.Spans[0])
+	}
+	var sum uint64
+	for _, d := range page.Spans[0].Stages {
+		sum += d
+	}
+	if len(page.Spans[0].Stages) != NumStages || sum != page.Spans[0].TotalNS {
+		t.Fatalf("stage decomposition: stages=%v total=%d", page.Spans[0].Stages, page.Spans[0].TotalNS)
+	}
+
+	rec = httptest.NewRecorder()
+	tr.ServeSlowz(rec, httptest.NewRequest("GET", "/slowz?format=text", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, "slow traces") || !strings.Contains(body, "0000000000001111") {
+		t.Fatalf("/slowz text body:\n%s", body)
+	}
+	if strings.Contains(body, "<") {
+		t.Fatalf("/slowz text output contains HTML: %s", body)
+	}
+}
+
+func TestRetireDoesNotAllocate(t *testing.T) {
+	tr := New(Config{Recent: 8, SlowN: 4})
+	base := time.Now()
+	allocs := testing.AllocsPerRun(200, func() {
+		s := tr.Get()
+		s.Begin(base)
+		s.TraceID = 7
+		s.Stamp(StageExecute, base.Add(time.Microsecond))
+		s.Finish(base.Add(2 * time.Microsecond))
+		tr.Retire(s)
+	})
+	if allocs != 0 {
+		t.Fatalf("Get+Retire allocates %.1f/op, want 0", allocs)
+	}
+}

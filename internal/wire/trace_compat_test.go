@@ -1,0 +1,162 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The trace suffix is an optional trailing field under the same
+// tolerant-decode rule as the Stats row's optional words: frames without
+// it are byte-for-byte what pre-trace encoders produced, and decoders
+// detect it purely from the length residue (every op body is a whole
+// number of 8-byte words past its fixed header; the suffix is 9 bytes).
+
+func TestRequestTraceSuffixRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{ID: 1, Op: OpPing},
+		{ID: 2, Op: OpRead, Key: 0xdeadbeef},
+		{ID: 3, Op: OpUpdate, Mode: ModeAdd, Key: 7, Args: []uint64{1, 2, 3}},
+		{ID: 4, Op: OpSnapshot},
+		{ID: 5, Op: OpSnapshotAtomic},
+		{ID: 6, Op: OpUpdateMulti, Mode: ModeSet, Keys: []uint64{10, 20}, Args: []uint64{1, 2, 3, 4}},
+		{ID: 7, Op: OpStats},
+	}
+	var got Request
+	for _, want := range reqs {
+		want.Traced, want.TraceID = true, 0xfeedface12345678
+		payload := AppendRequest(nil, &want)
+		if err := DecodeRequest(&got, payload); err != nil {
+			t.Fatalf("%v traced: decode: %v", want.Op, err)
+		}
+		if !got.Traced || got.TraceID != want.TraceID {
+			t.Fatalf("%v: trace fields did not round trip: %+v", want.Op, got)
+		}
+		if got.ID != want.ID || got.Op != want.Op || got.Mode != want.Mode || got.Key != want.Key ||
+			!equalWords(got.Keys, want.Keys) || !equalWords(got.Args, want.Args) {
+			t.Fatalf("%v traced: body round trip: got %+v want %+v", want.Op, got, want)
+		}
+		// An untraced frame must be byte-identical to what a pre-trace
+		// encoder produced: the suffix is strictly additive.
+		want.Traced, want.TraceID = false, 0
+		plain := AppendRequest(nil, &want)
+		if !bytes.Equal(plain, payload[:len(payload)-reqTraceLen]) {
+			t.Fatalf("%v: traced frame is not plain frame + suffix", want.Op)
+		}
+		if err := DecodeRequest(&got, plain); err != nil {
+			t.Fatalf("%v plain: decode: %v", want.Op, err)
+		}
+		if got.Traced || got.TraceID != 0 {
+			t.Fatalf("%v: trace fields leaked across decodes: %+v", want.Op, got)
+		}
+	}
+}
+
+func TestResponseTraceSuffixRoundTrip(t *testing.T) {
+	want := Response{ID: 9, Status: StatusOK, Attempts: 2, Rows: 1, Words: 3,
+		Data:   []uint64{5, 6, 7},
+		Traced: true, TraceID: 0xabad1dea,
+		Stages: []uint64{100, 200, 300, 400, 500, 600}}
+	payload := AppendResponse(nil, &want)
+	var got Response
+	if err := DecodeResponse(&got, payload); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !got.Traced || got.TraceID != want.TraceID || !equalWords(got.Stages, want.Stages) {
+		t.Fatalf("trace suffix round trip: %+v", got)
+	}
+	if !equalWords(got.Data, want.Data) || got.Attempts != want.Attempts {
+		t.Fatalf("data round trip with suffix: %+v", got)
+	}
+	// Plain responses stay byte-identical, and decoding one after a
+	// traced one must reset the trace fields.
+	want.Traced, want.TraceID, want.Stages = false, 0, nil
+	plain := AppendResponse(nil, &want)
+	if !bytes.Equal(plain, payload[:len(plain)]) {
+		t.Fatal("traced response is not plain response + suffix")
+	}
+	if err := DecodeResponse(&got, plain); err != nil {
+		t.Fatalf("plain decode: %v", err)
+	}
+	if got.Traced || got.TraceID != 0 || len(got.Stages) != 0 {
+		t.Fatalf("trace fields leaked across decodes: %+v", got)
+	}
+}
+
+func TestResponseTraceSuffixZeroStages(t *testing.T) {
+	want := Response{ID: 1, Status: StatusOK, Traced: true, TraceID: 42}
+	var got Response
+	if err := DecodeResponse(&got, AppendResponse(nil, &want)); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Traced || got.TraceID != 42 || len(got.Stages) != 0 {
+		t.Fatalf("zero-stage suffix: %+v", got)
+	}
+}
+
+func TestTraceSuffixRejectsMalformed(t *testing.T) {
+	traced := func(op Op) []byte {
+		return AppendRequest(nil, &Request{Op: op, Key: 1, Args: []uint64{1},
+			Keys: []uint64{1}, Traced: true, TraceID: 7})
+	}
+	badMark := traced(OpRead)
+	badMark[len(badMark)-reqTraceLen] = 'X' // length says suffix, marker disagrees
+	truncated := traced(OpPing)
+	var req Request
+	for name, payload := range map[string][]byte{
+		"bad marker":       badMark,
+		"truncated suffix": truncated[:len(truncated)-1],
+	} {
+		if err := DecodeRequest(&req, payload); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+
+	resp := &Response{Status: StatusOK, Rows: 1, Words: 1, Data: []uint64{9},
+		Traced: true, TraceID: 7, Stages: []uint64{1, 2, 3}}
+	good := AppendResponse(nil, resp)
+	badRespMark := append([]byte(nil), good...)
+	badRespMark[9+12+8] = 'X'
+	lyingCount := append([]byte(nil), good...)
+	lyingCount[9+12+8+9] = 5 // claims 5 stages, carries 3
+	var dec Response
+	for name, payload := range map[string][]byte{
+		"resp bad marker":   badRespMark,
+		"resp stage count":  lyingCount,
+		"resp short suffix": good[:len(good)-1],
+	} {
+		if err := DecodeResponse(&dec, payload); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestTraceSuffixZeroAlloc(t *testing.T) {
+	req := &Request{ID: 1, Op: OpUpdate, Key: 3, Args: []uint64{1, 2},
+		Traced: true, TraceID: 99}
+	resp := &Response{ID: 1, Status: StatusOK, Rows: 1, Words: 2, Data: []uint64{4, 5},
+		Traced: true, TraceID: 99, Stages: []uint64{10, 20, 30, 40, 50, 60}}
+	var reqBuf, respBuf []byte
+	var dreq Request
+	var dresp Response
+	reqBuf = AppendRequest(reqBuf[:0], req)
+	respBuf = AppendResponse(respBuf[:0], resp)
+	if err := DecodeRequest(&dreq, reqBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeResponse(&dresp, respBuf); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		reqBuf = AppendRequest(reqBuf[:0], req)
+		respBuf = AppendResponse(respBuf[:0], resp)
+		if err := DecodeRequest(&dreq, reqBuf); err != nil {
+			t.Fatal(err)
+		}
+		if err := DecodeResponse(&dresp, respBuf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("traced encode+decode: %v allocs/op, want 0", allocs)
+	}
+}

@@ -41,6 +41,34 @@
 //
 // Rows×words is 1×W for Read/Update, nkeys×W for UpdateMulti, K×W for
 // the snapshots, 1×len for Stats (see ServerStats), and 0×0 for Ping.
+//
+// # Trace suffix
+//
+// A request may carry an optional trailing trace suffix after its
+// op-specific body:
+//
+//	uint8 'T' (0x54) | uint64 traceid
+//
+// asking the server to trace this request (internal/trace) and echo
+// the per-stage latency breakdown. The suffix follows the same
+// tolerant-decode rule as the Stats row's optional words: decoders
+// that understand it parse it, and it is unambiguous for every opcode
+// because every op-specific body is a whole number of 8-byte words
+// after its fixed header, while the suffix is 9 bytes. Old clients
+// never send it; servers that predate it reject the frame, so clients
+// must flag requests only against servers known to speak it (see
+// docs/WIRE.md).
+//
+// A response to a traced request carries its own trailing suffix
+// after the data words:
+//
+//	uint8 'T' | uint64 traceid | uint8 nstages | nstages×uint64 stage-ns
+//
+// with the server-side stage durations in internal/trace stage order
+// (decode, queue, acquire, execute, persist, fsync — flush cannot
+// travel, it is still happening while these bytes leave). The server
+// sends it only on responses to traced requests, so a client that
+// never flags a request never sees one.
 package wire
 
 import (
@@ -161,6 +189,18 @@ const MaxFrame = 8 << 20
 // sane and matches the transaction layer's sweet spot of small spans).
 const MaxMultiKeys = 1 << 12
 
+// TraceMark is the first byte of the optional trailing trace suffix on
+// requests and responses ('T').
+const TraceMark = 0x54
+
+// reqTraceLen is the request trace suffix length: marker + trace id.
+const reqTraceLen = 9
+
+// MaxTraceStages bounds the stage count a response trace suffix may
+// carry — a decode sanity bound, not a protocol promise (the current
+// server sends trace.WireStages = 6).
+const MaxTraceStages = 16
+
 // Request is one decoded request frame.
 type Request struct {
 	ID   uint64
@@ -169,6 +209,11 @@ type Request struct {
 	Key  uint64   // Read, Update
 	Keys []uint64 // UpdateMulti (aliases decode buffer; copy to retain)
 	Args []uint64 // Update: W words; UpdateMulti: len(Keys)·W words
+	// Traced marks a request carrying the optional trace suffix: the
+	// client asks the server to trace it under TraceID and echo the
+	// stage breakdown on the response.
+	Traced  bool
+	TraceID uint64
 }
 
 // Response is one decoded response frame.
@@ -180,6 +225,12 @@ type Response struct {
 	Words    uint32
 	Data     []uint64 // aliases decode buffer; copy to retain
 	Err      string   // set iff Status != StatusOK
+	// Traced marks a response carrying the trace suffix; Stages holds
+	// the server-side per-stage durations in nanoseconds, in
+	// internal/trace stage order (reuses its backing array on decode).
+	Traced  bool
+	TraceID uint64
+	Stages  []uint64
 }
 
 // Row returns row i of the response data.
@@ -201,6 +252,9 @@ func AppendRequest(dst []byte, req *Request) []byte {
 	case OpUpdateMulti:
 		size += 1 + 2 + 8*(len(req.Keys)+len(req.Args))
 	}
+	if req.Traced {
+		size += reqTraceLen
+	}
 	dst = growBytes(dst, size)
 	dst = binary.LittleEndian.AppendUint64(dst, req.ID)
 	dst = append(dst, byte(req.Op))
@@ -217,7 +271,25 @@ func AppendRequest(dst []byte, req *Request) []byte {
 		dst = appendUint64s(dst, req.Keys)
 		dst = appendUint64s(dst, req.Args)
 	}
+	if req.Traced {
+		dst = append(dst, TraceMark)
+		dst = binary.LittleEndian.AppendUint64(dst, req.TraceID)
+	}
 	return dst
+}
+
+// splitReqTrace strips the optional trailing trace suffix from a
+// request body when extra — the body length beyond the op's base shape
+// modulo its word granularity — says one is present, filling req's
+// trace fields. It returns the body without the suffix.
+func splitReqTrace(req *Request, body []byte) []byte {
+	n := len(body) - reqTraceLen
+	if n < 0 || body[n] != TraceMark {
+		return body // leave the length error to the per-op check
+	}
+	req.Traced = true
+	req.TraceID = binary.LittleEndian.Uint64(body[n+1:])
+	return body[:n]
 }
 
 // DecodeRequest decodes a request payload into req, reusing req's Keys
@@ -231,17 +303,31 @@ func DecodeRequest(req *Request, payload []byte) error {
 	body := payload[9:]
 	req.Mode, req.Key = 0, 0
 	req.Keys, req.Args = req.Keys[:0], req.Args[:0]
+	req.Traced, req.TraceID = false, 0
+	// The trace suffix is detectable by length alone: every op-specific
+	// body is a whole number of 8-byte words past its fixed header, and
+	// the suffix is 9 bytes, so the length residue says whether one is
+	// present (the marker byte is then required).
 	switch req.Op {
 	case OpPing, OpSnapshot, OpSnapshotAtomic, OpStats:
+		if len(body) == reqTraceLen {
+			body = splitReqTrace(req, body)
+		}
 		if len(body) != 0 {
 			return fmt.Errorf("wire: %v request carries %d unexpected body bytes", req.Op, len(body))
 		}
 	case OpRead:
+		if len(body) == 8+reqTraceLen {
+			body = splitReqTrace(req, body)
+		}
 		if len(body) != 8 {
 			return fmt.Errorf("wire: read request body %d bytes, want 8", len(body))
 		}
 		req.Key = binary.LittleEndian.Uint64(body)
 	case OpUpdate:
+		if len(body) >= 9+reqTraceLen && (len(body)-9)%8 == reqTraceLen%8 {
+			body = splitReqTrace(req, body)
+		}
 		if len(body) < 9 || (len(body)-9)%8 != 0 {
 			return fmt.Errorf("wire: update request body %d bytes, want 9+8·w", len(body))
 		}
@@ -256,6 +342,9 @@ func DecodeRequest(req *Request, payload []byte) error {
 		nkeys := int(binary.LittleEndian.Uint16(body[1:]))
 		if nkeys == 0 || nkeys > MaxMultiKeys {
 			return fmt.Errorf("wire: updatemulti with %d keys, want 1..%d", nkeys, MaxMultiKeys)
+		}
+		if extra := len(body) - 3 - nkeys*8; extra >= reqTraceLen && extra%8 == reqTraceLen%8 {
+			body = splitReqTrace(req, body)
 		}
 		rest := body[3:]
 		if len(rest) < nkeys*8 || (len(rest)-nkeys*8)%8 != 0 {
@@ -286,11 +375,22 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(msg)))
 		return append(dst, msg...)
 	}
-	dst = growBytes(dst, 12+8*len(resp.Data))
+	size := 12 + 8*len(resp.Data)
+	if resp.Traced {
+		size += 10 + 8*len(resp.Stages)
+	}
+	dst = growBytes(dst, size)
 	dst = binary.LittleEndian.AppendUint32(dst, resp.Attempts)
 	dst = binary.LittleEndian.AppendUint32(dst, resp.Rows)
 	dst = binary.LittleEndian.AppendUint32(dst, resp.Words)
-	return appendUint64s(dst, resp.Data)
+	dst = appendUint64s(dst, resp.Data)
+	if resp.Traced {
+		dst = append(dst, TraceMark)
+		dst = binary.LittleEndian.AppendUint64(dst, resp.TraceID)
+		dst = append(dst, byte(len(resp.Stages)))
+		dst = appendUint64s(dst, resp.Stages)
+	}
+	return dst
 }
 
 // DecodeResponse decodes a response payload into resp, reusing resp's
@@ -304,6 +404,7 @@ func DecodeResponse(resp *Response, payload []byte) error {
 	body := payload[9:]
 	resp.Attempts, resp.Rows, resp.Words = 0, 0, 0
 	resp.Data, resp.Err = resp.Data[:0], ""
+	resp.Traced, resp.TraceID, resp.Stages = false, 0, resp.Stages[:0]
 	if resp.Status != StatusOK {
 		if len(body) < 2 {
 			return fmt.Errorf("wire: error response body %d bytes, want >= 2", len(body))
@@ -323,6 +424,23 @@ func DecodeResponse(resp *Response, payload []byte) error {
 	resp.Words = binary.LittleEndian.Uint32(body[8:])
 	data := body[12:]
 	want := uint64(resp.Rows) * uint64(resp.Words) * 8
+	if uint64(len(data)) > want {
+		// Extra bytes past the promised data words: the trailing trace
+		// suffix, marker | traceid | nstages | stage words. Anything else
+		// is still a shape error.
+		extra := data[want:]
+		if len(extra) < 10 || extra[0] != TraceMark {
+			return fmt.Errorf("wire: response data %d bytes, header promises %d", len(data), want)
+		}
+		nstages := int(extra[9])
+		if nstages > MaxTraceStages || len(extra) != 10+8*nstages {
+			return fmt.Errorf("wire: response trace suffix %d bytes does not fit %d stages", len(extra), nstages)
+		}
+		resp.Traced = true
+		resp.TraceID = binary.LittleEndian.Uint64(extra[1:])
+		resp.Stages = appendWords(resp.Stages, extra[10:])
+		data = data[:want]
+	}
 	if uint64(len(data)) != want {
 		return fmt.Errorf("wire: response data %d bytes, header promises %d", len(data), want)
 	}
