@@ -1,4 +1,4 @@
-// Command llscbench regenerates the experiment tables E1-E15: the
+// Command llscbench regenerates the experiment tables E1-E16: the
 // empirical counterparts of the paper's Theorem 1 claims (E1-E7), the
 // scaling experiments for the sharded map and handle registry (E8-E9),
 // the cross-shard transaction experiment (E10), the networked
@@ -8,7 +8,9 @@
 // cmd/llscgate in CI), the observability-overhead experiment (E14:
 // serving throughput with the latency histograms off vs on), and the
 // tracing-overhead experiment (E15: no tracer vs idle tracer vs
-// 1-in-64 sampling vs every request traced).
+// 1-in-64 sampling vs every request traced), and the overload-control
+// experiment (E16: goodput under 2x open-loop offered load with
+// admission control off vs on).
 // docs/BENCHMARKS.md documents the methodology and the full catalog.
 //
 // Usage:
@@ -45,7 +47,7 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("llscbench", flag.ContinueOnError)
 	var (
-		exps     = fs.String("e", "", "comma-separated experiments to run (e1..e15); empty = all")
+		exps     = fs.String("e", "", "comma-separated experiments to run (e1..e16); empty = all")
 		implList = fs.String("impls", "", "comma-separated implementations (default: all of "+strings.Join(impls.Names(), ",")+")")
 		dur      = fs.Duration("dur", 150*time.Millisecond, "measurement window per throughput point")
 		iters    = fs.Int("iters", 30000, "iterations per latency point")
@@ -91,6 +93,7 @@ func run(args []string) int {
 		{"e13", bench.E13Allocs},
 		{"e14", bench.E14ObsOverhead},
 		{"e15", bench.E15TraceOverhead},
+		{"e16", bench.E16Overload},
 	}
 
 	want := map[string]bool{}

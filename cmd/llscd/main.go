@@ -11,6 +11,8 @@
 //	      [-impl jp] [-maxbatch 64] [-stats 0] [-v] [-admin ""]
 //	      [-dir ""] [-fsync everysec] [-checkpoint-interval 1m]
 //	      [-trace-sample 0] [-slow-threshold 0]
+//	      [-max-conns 0] [-idle-timeout 0] [-write-timeout 0]
+//	      [-max-inflight 0] [-degrade-on-disk-error]
 //
 // With -dir the daemon is durable: committed updates are appended to
 // per-shard logs in that directory (fsynced per -fsync: none, everysec
@@ -28,6 +30,16 @@
 // the build info), recent traces on /tracez and the slowest traces
 // with stage breakdowns on /slowz, and the standard Go profiler under
 // /debug/pprof/. See docs/OBSERVABILITY.md for the metric catalog.
+//
+// The overload controls are off by default and opt-in per deployment:
+// -max-conns caps open connections (excess closed at accept),
+// -idle-timeout and -write-timeout evict silent and non-reading peers,
+// -max-inflight bounds concurrently executing batches (excess rejected
+// with the retryable busy status instead of queueing), and
+// -degrade-on-disk-error turns a sticky durability failure into
+// read-only degraded mode — reads keep serving from memory, updates are
+// rejected as unavailable — instead of accepting updates that would not
+// survive a restart. docs/OPERATIONS.md has the runbook.
 //
 // Per-request tracing (internal/trace) is always compiled in: requests
 // flagged by the client are traced on demand, -trace-sample N
@@ -53,10 +65,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"mwllsc/internal/fault"
 	"mwllsc/internal/impls"
 	"mwllsc/internal/obs"
 	"mwllsc/internal/persist"
@@ -88,6 +102,11 @@ func run(args []string, stop <-chan os.Signal, stdout, stderr io.Writer) int {
 		ckptDur  = fs.Duration("checkpoint-interval", time.Minute, "time between checkpoints (0 = only at shutdown)")
 		sampleN  = fs.Uint64("trace-sample", 0, "head-sample 1 in N requests per connection into /tracez and /slowz (0 = only client-flagged requests)")
 		slowThr  = fs.Duration("slow-threshold", 0, "log one structured slow-op line per trace slower than this (0 = never)")
+		maxConns = fs.Int("max-conns", 0, "max open connections; excess closed at accept (0 = unlimited)")
+		idleTO   = fs.Duration("idle-timeout", 0, "close a connection whose next request does not arrive within this (0 = never)")
+		writeTO  = fs.Duration("write-timeout", 0, "evict a connection whose peer stops reading responses for this long (0 = never)")
+		inflight = fs.Int("max-inflight", 0, "max concurrently executing batches; excess rejected with the retryable busy status (0 = unbounded)")
+		degrade  = fs.Bool("degrade-on-disk-error", false, "serve read-only (updates rejected as unavailable) once the durability log has a sticky failure")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -119,6 +138,11 @@ func run(args []string, stop <-chan os.Signal, stdout, stderr io.Writer) int {
 		server.WithMaxBatch(*maxBatch),
 		server.WithMetrics(server.NewMetrics(*slots)),
 		server.WithTracer(tr),
+		server.WithMaxConns(*maxConns),
+		server.WithIdleTimeout(*idleTO),
+		server.WithWriteTimeout(*writeTO),
+		server.WithMaxInflight(*inflight),
+		server.WithDegradeOnDiskError(*degrade),
 	}
 	if *verbose {
 		opts = append(opts, server.WithLogf(func(format string, a ...any) {
@@ -132,8 +156,25 @@ func run(args []string, stop <-chan os.Signal, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "llscd: %v\n", err)
 			return 2
 		}
+		popts := persist.Options{Policy: policy}
+		// Crash-harness knobs, deliberately env-only: the fault-injecting
+		// log layer (internal/fault) is for tests that SIGKILL the daemon
+		// mid-failure and audit recovery, never for deployments, so it
+		// does not get a flag. Any activation is announced loudly.
+		writeAfter := envInt64(stderr, "LLSCD_FAULT_WRITE_AFTER")
+		fsyncAfter := envInt64(stderr, "LLSCD_FAULT_FSYNC_AFTER")
+		if writeAfter > 0 || fsyncAfter > 0 {
+			ff := fault.NewFiles(fault.FilesConfig{
+				Seed:                1,
+				FailWriteAfterBytes: writeAfter,
+				FailFsyncAfter:      int(fsyncAfter),
+			})
+			popts.OpenLog = func(path string) (persist.LogFile, error) { return ff.Open(path) }
+			fmt.Fprintf(stdout, "llscd: FAULT INJECTION ACTIVE: log writes fail after %d bytes, fsync after %d rounds\n",
+				writeAfter, fsyncAfter)
+		}
 		var rec persist.Recovery
-		st, rec, err = persist.Open(*dir, m, persist.Options{Policy: policy})
+		st, rec, err = persist.Open(*dir, m, popts)
 		if err != nil {
 			fmt.Fprintf(stderr, "llscd: %v\n", err)
 			return 1
@@ -214,6 +255,10 @@ func run(args []string, stop <-chan os.Signal, stdout, stderr io.Writer) int {
 				sv.ConnsOpen, sv.ConnsTotal, sv.Reqs, sv.Updates, sv.Reads, sv.Snapshots, sv.Multis,
 				sv.Batches, avg(sv.Reqs, sv.Batches), sv.BadReqs, sv.PersistErrs,
 				time.Duration(sv.LatP50), time.Duration(sv.LatP99))
+			if n := sv.ShedConns + sv.BusyRejects + sv.Evictions + sv.IdleCloses + sv.DegradedRejects; n > 0 {
+				fmt.Fprintf(stdout, "llscd: overload shed=%d busy=%d evicted=%d idleclosed=%d degraded=%d\n",
+					sv.ShedConns, sv.BusyRejects, sv.Evictions, sv.IdleCloses, sv.DegradedRejects)
+			}
 			if st != nil {
 				ps := st.Stats()
 				fmt.Fprintf(stdout, "llscd: persist records=%d bytes=%d syncs=%d ckpts=%d seq=%d fsync p99=%s\n",
@@ -258,4 +303,20 @@ func avg(num, den uint64) float64 {
 		return 0
 	}
 	return float64(num) / float64(den)
+}
+
+// envInt64 parses an optional integer environment variable (the
+// crash-harness fault knobs); unset or empty means 0, garbage is
+// reported and treated as unset rather than silently arming a fault.
+func envInt64(stderr io.Writer, name string) int64 {
+	v := os.Getenv(name)
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		fmt.Fprintf(stderr, "llscd: ignoring %s=%q: %v\n", name, v, err)
+		return 0
+	}
+	return n
 }

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	llscload [-addr host:port] [-conns 4] [-workers 64] [-dur 2s]
+//	         [-timeout 0]
 //	         [-shards 16] [-slots 16] [-words 2] [-maxbatch 64]
 //	         [-json out.json] [-trace 0]
 //
@@ -32,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"sort"
 	"time"
@@ -58,6 +60,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxBatch = fs.Int("maxbatch", 64, "in-process server: max requests per registry acquisition")
 		jsonOut  = fs.String("json", "", "also write a JSON report to this path (\"-\" = stdout only)")
 		traceN   = fs.Int("trace", 0, "trace every Nth request per worker and print p50/p99 end-to-end stage exemplars (0 = off)")
+		timeout  = fs.Duration("timeout", 0, "per-operation deadline; a stalled server turns into counted op errors instead of a hung loadgen (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -85,7 +88,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "llscload: in-process llscd (K=%d N=%d W=%d) on %s\n", *shards, n, *words, target)
 	}
 
-	res, err := bench.NetLoadClosedLoop(target, *conns, *workers, *words, *dur, *traceN)
+	// Preflight before spinning up workers: an unreachable or wedged
+	// target should fail in seconds with a clear message, not leave the
+	// loadgen (or a CI job) hanging in a TCP connect for minutes.
+	preflight := 3 * time.Second
+	if *timeout > 0 {
+		preflight = *timeout
+	}
+	if nc, err := net.DialTimeout("tcp", target, preflight); err != nil {
+		fmt.Fprintf(stderr, "llscload: target unreachable: %v\n", err)
+		return 1
+	} else {
+		nc.Close()
+	}
+
+	var copts []client.Option
+	if *timeout > 0 {
+		copts = append(copts, client.WithOpTimeout(*timeout))
+	}
+	res, err := bench.NetLoadClosedLoop(target, *conns, *workers, *words, *dur, *traceN, copts...)
 	if err != nil {
 		fmt.Fprintf(stderr, "llscload: %v\n", err)
 		return 1

@@ -43,16 +43,18 @@ func StartLoopbackServer(k, n, w, maxBatch int) (*server.Server, string, error) 
 
 // NetLoadResult is one closed-loop load measurement point.
 type NetLoadResult struct {
-	Ops       int64          // operations completed
-	Errs      int64          // operations that returned an error (not in Ops)
-	LastErr   string         // one representative error when Errs > 0
-	OpsPerSec float64        // aggregate throughput
-	P50       time.Duration  // median request latency
-	P99       time.Duration  // tail request latency
-	AvgBatch  float64        // server-side requests per registry acquisition (0 if unknown)
-	SrvP50    time.Duration  // server-side batch-execute latency p50 (0 if the server has no histograms)
-	SrvP99    time.Duration  // server-side batch-execute latency p99 (0 if unknown)
-	Traces    []client.Trace // end-to-end stage samples, when tracing was requested
+	Ops       int64           // operations completed
+	Errs      int64           // operations that returned an error (not in Ops)
+	LastErr   string          // one representative error when Errs > 0
+	OpsPerSec float64         // aggregate throughput
+	P50       time.Duration   // median request latency
+	P99       time.Duration   // tail request latency
+	AvgBatch  float64         // server-side requests per registry acquisition (0 if unknown)
+	SrvP50    time.Duration   // server-side batch-execute latency p50 (0 if the server has no histograms)
+	SrvP99    time.Duration   // server-side batch-execute latency p99 (0 if unknown)
+	Traces    []client.Trace  // end-to-end stage samples, when tracing was requested
+	Lats      []time.Duration // sorted latency samples behind P50/P99 (bounded per worker,
+	// decimated on long runs) — E16 computes SLO goodput from them
 }
 
 // latencySamples bounds per-worker latency recording so long runs do
@@ -80,8 +82,13 @@ const traceSamples = 256
 // (client.WithTrace): its client-side queue/round-trip split — and,
 // against a tracer-equipped server, the server stage breakdown — is
 // collected into Traces (bounded per worker).
-func NetLoadClosedLoop(addr string, conns, workers, w int, dur time.Duration, traceEvery int) (NetLoadResult, error) {
-	c, err := client.Dial(addr, client.WithConns(conns))
+//
+// Extra client options are applied after the pool size — llscload's
+// -timeout passes client.WithOpTimeout so a stalled server turns into
+// counted op errors instead of a hung loadgen, and the E16 overload
+// benchmark shapes the retry policy per arm.
+func NetLoadClosedLoop(addr string, conns, workers, w int, dur time.Duration, traceEvery int, opts ...client.Option) (NetLoadResult, error) {
+	c, err := client.Dial(addr, append([]client.Option{client.WithConns(conns)}, opts...)...)
 	if err != nil {
 		return NetLoadResult{}, err
 	}
@@ -181,6 +188,7 @@ func NetLoadClosedLoop(addr string, conns, workers, w int, dur time.Duration, tr
 		OpsPerSec: float64(total) / elapsed,
 		P50:       all[len(all)/2],
 		P99:       all[len(all)*99/100],
+		Lats:      all,
 	}
 	if someErr != nil {
 		res.LastErr = someErr.Error()

@@ -1,6 +1,8 @@
 // Package client is the Go client for the llscd serving layer: a
 // connection pool speaking the wire protocol (internal/wire) with
-// request pipelining and automatic write coalescing.
+// request pipelining, automatic write coalescing, and failure
+// resilience (reconnect with capped exponential backoff, per-op
+// deadline defaults, and a status-aware retry policy).
 //
 // Every call is safe for concurrent use. Calls are spread round-robin
 // over the pool's connections; on each connection a writer goroutine
@@ -10,6 +12,30 @@
 // A reader goroutine matches responses — which the server may reorder —
 // back to callers by request id. Contexts are honored: a canceled call
 // abandons its slot (the response, when it arrives, is dropped).
+//
+// # Failure semantics
+//
+// A connection that dies is redialed in the background with capped
+// exponential backoff and jitter; callers never see a permanently
+// broken pool unless the server stays unreachable. The retry policy is
+// deliberately asymmetric about what a lost connection means:
+//
+//   - Idempotent ops (Ping, Read, Snapshot, SnapshotAtomic, Stats)
+//     retry on any connection failure — re-executing them is harmless.
+//   - Updates (Add/Set/AddMulti/SetMulti) are declarative but not
+//     idempotent (Add applied twice double-counts), so they are NOT
+//     retried when a connection dies with the request in flight — the
+//     server may or may not have executed it. They surface an error
+//     wrapping ErrConnBroken and the caller decides.
+//   - Updates ARE retried when nothing was ever sent (the whole pool is
+//     down between attempts) and on an explicit retryable status:
+//     StatusBusy is the server's promise that it rejected the request
+//     before executing any of it.
+//   - StatusUnavailable (disk-sick read-only degraded mode) is not
+//     retried: the condition is sticky until an operator intervenes.
+//
+// Context cancellation and deadlines are never retried and surface
+// exactly as context.Canceled / context.DeadlineExceeded.
 //
 // The remote operations carry the same consistency contract as the
 // in-process shard.Map they reach: per-key Update/Read linearizable per
@@ -23,6 +49,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -38,6 +65,10 @@ type config struct {
 	conns       int
 	dialTimeout time.Duration
 	queue       int
+	opTimeout   time.Duration
+	maxRetries  int
+	backoffBase time.Duration
+	backoffMax  time.Duration
 }
 
 // WithConns sets the pool size (default 1). More connections raise the
@@ -52,7 +83,8 @@ func WithConns(n int) Option {
 	}
 }
 
-// WithDialTimeout bounds each connection attempt (default 5s).
+// WithDialTimeout bounds each connection attempt (default 5s), initial
+// and background redial alike.
 func WithDialTimeout(d time.Duration) Option {
 	return func(c *config) {
 		if d > 0 {
@@ -71,8 +103,69 @@ func WithSendQueue(n int) Option {
 	}
 }
 
+// WithOpTimeout gives every call without its own context deadline a
+// default deadline of d. Zero (the default) leaves calls unbounded —
+// existing callers keep their exact context semantics.
+func WithOpTimeout(d time.Duration) Option {
+	return func(c *config) {
+		if d > 0 {
+			c.opTimeout = d
+		}
+	}
+}
+
+// WithRetries sets how many times a failed call is retried beyond its
+// first attempt (default 3), within its retry policy — see the package
+// comment. 0 disables retries entirely.
+func WithRetries(n int) Option {
+	return func(c *config) {
+		if n >= 0 {
+			c.maxRetries = n
+		}
+	}
+}
+
+// WithBackoff sets the retry/reconnect backoff band: base is the first
+// delay, max the cap of the exponential growth (defaults 2ms, 250ms).
+// Each sleep is jittered over [d/2, d] to break retry synchronization
+// across clients.
+func WithBackoff(base, max time.Duration) Option {
+	return func(c *config) {
+		if base > 0 {
+			c.backoffBase = base
+		}
+		if max > 0 {
+			c.backoffMax = max
+		}
+	}
+}
+
 // ErrClosed is returned by calls on a closed Client.
 var ErrClosed = errors.New("client: closed")
+
+// ErrConnBroken wraps every error caused by a connection dying. For an
+// update it marks the ambiguous outcome — the server may or may not
+// have executed the request — which is exactly why updates are not
+// retried on it.
+var ErrConnBroken = errors.New("client: connection broken")
+
+// ErrRetriesExhausted wraps the final error of a call that failed after
+// its full retry budget.
+var ErrRetriesExhausted = errors.New("client: retries exhausted")
+
+// ErrBusy wraps a StatusBusy response: the server's admission control
+// rejected the request before executing it. Safe to retry for every op
+// (and retried automatically, with backoff).
+var ErrBusy = errors.New("client: server busy")
+
+// ErrUnavailable wraps a StatusUnavailable response: the server is in
+// disk-sick read-only degraded mode and rejected the update without
+// executing it. Not retried — the condition is sticky.
+var ErrUnavailable = errors.New("client: server unavailable (degraded)")
+
+// errNotSent marks a failure that happened before the request was ever
+// enqueued, so retrying cannot double-execute anything.
+var errNotSent = errors.New("request not sent")
 
 // Trace is one traced call's client-side record. Pass it to a call via
 // WithTrace; when the call returns, the client has filled in the
@@ -120,32 +213,61 @@ func nextTraceID() uint64 {
 	return z ^ (z >> 31)
 }
 
-// Client is a pooled connection to one llscd server.
+// Client is a pooled, self-healing connection to one llscd server.
 type Client struct {
-	conns  []*conn
+	addr   string
+	cfg    config
+	slots  []*slot
 	next   atomic.Uint64
 	closed atomic.Bool
+	closeC chan struct{} // closed by Close; wakes backoff sleeps
+	wg     sync.WaitGroup
+
+	retries    atomic.Uint64 // attempts beyond the first, all calls
+	reconnects atomic.Uint64 // successful background redials
 }
 
-// Dial connects the pool to addr.
+// slot is one pool position: it holds the current connection and
+// redials in the background when that connection breaks, so the pool
+// heals without any caller waiting on a dial.
+type slot struct {
+	c         *Client
+	mu        sync.Mutex
+	cn        *conn // nil while down
+	redialing bool
+}
+
+// Dial connects the pool to addr. Initial connections are dialed
+// synchronously — a dead target fails Dial instead of queueing calls.
 func Dial(addr string, opts ...Option) (*Client, error) {
-	cfg := config{conns: 1, dialTimeout: 5 * time.Second, queue: 256}
+	cfg := config{
+		conns: 1, dialTimeout: 5 * time.Second, queue: 256,
+		maxRetries: 3, backoffBase: 2 * time.Millisecond, backoffMax: 250 * time.Millisecond,
+	}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	c := &Client{}
+	c := &Client{addr: addr, cfg: cfg, closeC: make(chan struct{})}
 	for i := 0; i < cfg.conns; i++ {
-		nc, err := net.DialTimeout("tcp", addr, cfg.dialTimeout)
+		cn, err := c.dialConn()
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("client: dialing %s: %w", addr, err)
 		}
-		if tc, ok := nc.(*net.TCPConn); ok {
-			tc.SetNoDelay(true) // latency over bandwidth; coalescing happens in the writer
-		}
-		c.conns = append(c.conns, newConn(nc, cfg.queue))
+		c.slots = append(c.slots, &slot{c: c, cn: cn})
 	}
 	return c, nil
+}
+
+func (c *Client) dialConn() (*conn, error) {
+	nc, err := net.DialTimeout("tcp", c.addr, c.cfg.dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // latency over bandwidth; coalescing happens in the writer
+	}
+	return newConn(nc, c.cfg.queue), nil
 }
 
 // Close tears down every connection; in-flight calls fail with ErrClosed.
@@ -153,46 +275,221 @@ func (c *Client) Close() error {
 	if c.closed.Swap(true) {
 		return nil
 	}
-	for _, cn := range c.conns {
-		cn.close(ErrClosed)
+	close(c.closeC)
+	for _, sl := range c.slots {
+		sl.mu.Lock()
+		cn := sl.cn
+		sl.mu.Unlock()
+		if cn != nil {
+			cn.close(ErrClosed)
+		}
 	}
+	c.wg.Wait() // redial goroutines exit via closeC
 	return nil
 }
 
-// pick returns the next connection round-robin, skipping broken ones.
+// Reconnects returns how many background redials have succeeded.
+func (c *Client) Reconnects() uint64 { return c.reconnects.Load() }
+
+// Retries returns how many call attempts beyond the first have been
+// made (transport retries and busy retries together).
+func (c *Client) Retries() uint64 { return c.retries.Load() }
+
+// pick returns the next healthy connection round-robin, kicking a
+// background redial for every broken slot it passes over.
 func (c *Client) pick() (*conn, error) {
 	if c.closed.Load() {
 		return nil, ErrClosed
 	}
-	n := len(c.conns)
+	n := len(c.slots)
 	// Reduce in uint64 before narrowing: int(counter) goes negative on
 	// 32-bit platforms once the counter passes 2^31.
 	start := int((c.next.Add(1) - 1) % uint64(n))
+	var lastErr error
 	for i := 0; i < n; i++ {
-		cn := c.conns[(start+i)%n]
-		if cn.err() == nil {
-			return cn, nil
+		sl := c.slots[(start+i)%n]
+		sl.mu.Lock()
+		cn := sl.cn
+		sl.mu.Unlock()
+		if cn != nil {
+			if err := cn.err(); err == nil {
+				return cn, nil
+			} else {
+				lastErr = err
+			}
+		}
+		sl.ensureRedial()
+	}
+	if lastErr != nil && errors.Is(lastErr, ErrConnBroken) {
+		return nil, fmt.Errorf("client: all %d connections down: %w", n, lastErr)
+	}
+	return nil, fmt.Errorf("client: all %d connections down (reconnecting): %w", n, ErrConnBroken)
+}
+
+// ensureRedial retires a broken connection from the slot and starts the
+// background redial loop, at most one per slot.
+func (sl *slot) ensureRedial() {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if sl.redialing || sl.c.closed.Load() {
+		return
+	}
+	if sl.cn != nil && sl.cn.err() == nil {
+		return // healed by a racing pick
+	}
+	sl.cn = nil
+	sl.redialing = true
+	sl.c.wg.Add(1)
+	go sl.redial()
+}
+
+// redial dials until it succeeds or the client closes, sleeping a
+// capped, jittered exponential backoff between attempts.
+func (sl *slot) redial() {
+	c := sl.c
+	defer c.wg.Done()
+	d := c.cfg.backoffBase
+	for {
+		if c.closed.Load() {
+			sl.mu.Lock()
+			sl.redialing = false
+			sl.mu.Unlock()
+			return
+		}
+		cn, err := c.dialConn()
+		if err == nil {
+			sl.mu.Lock()
+			if c.closed.Load() {
+				sl.redialing = false
+				sl.mu.Unlock()
+				cn.close(ErrClosed)
+				return
+			}
+			sl.cn = cn
+			sl.redialing = false
+			sl.mu.Unlock()
+			c.reconnects.Add(1)
+			return
+		}
+		t := time.NewTimer(jitter(d))
+		select {
+		case <-t.C:
+		case <-c.closeC:
+			t.Stop()
+			sl.mu.Lock()
+			sl.redialing = false
+			sl.mu.Unlock()
+			return
+		}
+		if d < c.cfg.backoffMax {
+			d *= 2
+			if d > c.cfg.backoffMax {
+				d = c.cfg.backoffMax
+			}
 		}
 	}
-	return nil, fmt.Errorf("client: all %d connections broken: %w", n, c.conns[start].err())
 }
 
-// do sends req on one connection and waits for its response or ctx.
-func (c *Client) do(ctx context.Context, req *wire.Request) (*wire.Response, error) {
-	cn, err := c.pick()
-	if err != nil {
-		return nil, err
+// jitter spreads d over [d/2, d] so a fleet of clients does not retry
+// in lockstep.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return time.Millisecond
 	}
-	return cn.do(ctx, req)
+	return d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
 }
 
-// ok maps a non-OK response status to an error.
-func ok(resp *wire.Response) error {
+// opCtx applies the configured default op deadline when the caller's
+// context has none.
+func (c *Client) opCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.cfg.opTimeout <= 0 {
+		return ctx, nil
+	}
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, nil
+	}
+	return context.WithTimeout(ctx, c.cfg.opTimeout)
+}
+
+// do runs req through the retry policy: pick a connection, send, map
+// the response status, classify any failure, back off, repeat. idem
+// marks ops safe to re-execute; see the package comment for the exact
+// policy.
+func (c *Client) do(ctx context.Context, req *wire.Request, idem bool) (*wire.Response, error) {
+	ctx, cancel := c.opCtx(ctx)
+	if cancel != nil {
+		defer cancel()
+	}
+	for attempt := 0; ; attempt++ {
+		cn, err := c.pick()
+		sent := false
+		if err == nil {
+			sent = true
+			var resp *wire.Response
+			resp, err = cn.do(ctx, req)
+			if err == nil {
+				err = statusErr(resp)
+			}
+			if err == nil {
+				return resp, nil
+			}
+		}
+		if !retryable(err, idem, sent) {
+			return nil, err
+		}
+		if attempt >= c.cfg.maxRetries {
+			return nil, fmt.Errorf("%w (%d attempts): %w", ErrRetriesExhausted, attempt+1, err)
+		}
+		c.retries.Add(1)
+		d := c.cfg.backoffBase << attempt
+		if d <= 0 || d > c.cfg.backoffMax {
+			d = c.cfg.backoffMax
+		}
+		t := time.NewTimer(jitter(d))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		case <-c.closeC:
+			t.Stop()
+			return nil, ErrClosed
+		}
+	}
+}
+
+// retryable classifies one attempt's failure. sent reports whether the
+// request reached a connection at all — when it never did, even a
+// non-idempotent update is safe to retry.
+func retryable(err error, idem, sent bool) bool {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return false // the caller's clock ran out; retrying steals time it no longer has
+	case errors.Is(err, ErrClosed):
+		return false
+	case errors.Is(err, ErrBusy):
+		return true // explicit pre-execution rejection: safe for every op
+	case errors.Is(err, ErrUnavailable):
+		return false // sticky degraded mode; retrying hammers a sick server
+	case errors.Is(err, errNotSent):
+		return true // the connection was already dead before we queued
+	case errors.Is(err, ErrConnBroken):
+		return idem || !sent
+	}
+	return false
+}
+
+// statusErr maps a non-OK response status to an error.
+func statusErr(resp *wire.Response) error {
 	switch resp.Status {
 	case wire.StatusOK:
 		return nil
 	case wire.StatusShutdown:
 		return fmt.Errorf("client: server shutting down: %s", resp.Err)
+	case wire.StatusBusy:
+		return fmt.Errorf("%w: %s", ErrBusy, resp.Err)
+	case wire.StatusUnavailable:
+		return fmt.Errorf("%w: %s", ErrUnavailable, resp.Err)
 	default:
 		return fmt.Errorf("client: %v: %s", resp.Status, resp.Err)
 	}
@@ -200,20 +497,14 @@ func ok(resp *wire.Response) error {
 
 // Ping round-trips an empty request.
 func (c *Client) Ping(ctx context.Context) error {
-	resp, err := c.do(ctx, &wire.Request{Op: wire.OpPing})
-	if err != nil {
-		return err
-	}
-	return ok(resp)
+	_, err := c.do(ctx, &wire.Request{Op: wire.OpPing}, true)
+	return err
 }
 
 // Read returns the current W-word value of the shard owning key.
 func (c *Client) Read(ctx context.Context, key uint64) ([]uint64, error) {
-	resp, err := c.do(ctx, &wire.Request{Op: wire.OpRead, Key: key})
+	resp, err := c.do(ctx, &wire.Request{Op: wire.OpRead, Key: key}, true)
 	if err != nil {
-		return nil, err
-	}
-	if err := ok(resp); err != nil {
 		return nil, err
 	}
 	return resp.Data, nil
@@ -233,11 +524,8 @@ func (c *Client) Set(ctx context.Context, key uint64, vals []uint64) ([]uint64, 
 }
 
 func (c *Client) update(ctx context.Context, mode wire.Mode, key uint64, args []uint64) ([]uint64, error) {
-	resp, err := c.do(ctx, &wire.Request{Op: wire.OpUpdate, Mode: mode, Key: key, Args: args})
+	resp, err := c.do(ctx, &wire.Request{Op: wire.OpUpdate, Mode: mode, Key: key, Args: args}, false)
 	if err != nil {
-		return nil, err
-	}
-	if err := ok(resp); err != nil {
 		return nil, err
 	}
 	return resp.Data, nil
@@ -265,11 +553,8 @@ func (c *Client) updateMulti(ctx context.Context, mode wire.Mode, keys []uint64,
 	for _, row := range args {
 		flat = append(flat, row...)
 	}
-	resp, err := c.do(ctx, &wire.Request{Op: wire.OpUpdateMulti, Mode: mode, Keys: keys, Args: flat})
+	resp, err := c.do(ctx, &wire.Request{Op: wire.OpUpdateMulti, Mode: mode, Keys: keys, Args: flat}, false)
 	if err != nil {
-		return nil, err
-	}
-	if err := ok(resp); err != nil {
 		return nil, err
 	}
 	return rows(resp), nil
@@ -289,11 +574,8 @@ func (c *Client) SnapshotAtomic(ctx context.Context) ([][]uint64, error) {
 }
 
 func (c *Client) snapshot(ctx context.Context, op wire.Op) ([][]uint64, error) {
-	resp, err := c.do(ctx, &wire.Request{Op: op})
+	resp, err := c.do(ctx, &wire.Request{Op: op}, true)
 	if err != nil {
-		return nil, err
-	}
-	if err := ok(resp); err != nil {
 		return nil, err
 	}
 	return rows(resp), nil
@@ -301,11 +583,8 @@ func (c *Client) snapshot(ctx context.Context, op wire.Op) ([][]uint64, error) {
 
 // Stats returns the server's counter snapshot.
 func (c *Client) Stats(ctx context.Context) (wire.ServerStats, error) {
-	resp, err := c.do(ctx, &wire.Request{Op: wire.OpStats})
+	resp, err := c.do(ctx, &wire.Request{Op: wire.OpStats}, true)
 	if err != nil {
-		return wire.ServerStats{}, err
-	}
-	if err := ok(resp); err != nil {
 		return wire.ServerStats{}, err
 	}
 	return wire.DecodeStats(resp.Data)
@@ -413,7 +692,7 @@ func (cn *conn) do(ctx context.Context, req *wire.Request) (*wire.Response, erro
 	if cn.broken != nil {
 		err := cn.broken
 		cn.mu.Unlock()
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", errNotSent, err)
 	}
 	cn.nextID++
 	id := cn.nextID
@@ -484,7 +763,7 @@ func (cn *conn) writeLoop() {
 			sr.traced.sentNS.Store(time.Now().UnixNano())
 		}
 		if err := wire.WriteFrame(bw, sr.payload); err != nil {
-			cn.close(fmt.Errorf("client: write: %w", err))
+			cn.close(fmt.Errorf("%w: write: %w", ErrConnBroken, err))
 			return
 		}
 		// Coalesce: keep encoding while more requests are queued; flush
@@ -496,7 +775,7 @@ func (cn *conn) writeLoop() {
 					next.traced.sentNS.Store(time.Now().UnixNano())
 				}
 				if err := wire.WriteFrame(bw, next.payload); err != nil {
-					cn.close(fmt.Errorf("client: write: %w", err))
+					cn.close(fmt.Errorf("%w: write: %w", ErrConnBroken, err))
 					return
 				}
 				continue
@@ -505,7 +784,7 @@ func (cn *conn) writeLoop() {
 			break
 		}
 		if err := bw.Flush(); err != nil {
-			cn.close(fmt.Errorf("client: flush: %w", err))
+			cn.close(fmt.Errorf("%w: flush: %w", ErrConnBroken, err))
 			return
 		}
 	}
@@ -520,6 +799,11 @@ func (cn *conn) writeLoop() {
 // callers, the server's id-0 error frame) decode into a per-connection
 // scratch Response whose Data backing array is reused, so a stream of
 // abandoned responses costs no per-frame allocation.
+//
+// Transport failures wrap ErrConnBroken (the retry policy's ambiguous
+// case); protocol corruption — a malformed or undecodable frame — does
+// not, so it surfaces to the caller immediately instead of being
+// retried against a server that is speaking garbage.
 func (cn *conn) readLoop() {
 	br := bufio.NewReaderSize(cn.nc, 64<<10)
 	var frame []byte
@@ -528,7 +812,7 @@ func (cn *conn) readLoop() {
 		var err error
 		frame, err = wire.ReadFrame(br, frame)
 		if err != nil {
-			cn.close(fmt.Errorf("client: read: %w", err))
+			cn.close(fmt.Errorf("%w: read: %w", ErrConnBroken, err))
 			return
 		}
 		if len(frame) < 8 {

@@ -1,0 +1,328 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mwllsc/internal/client"
+	"mwllsc/internal/fault"
+	"mwllsc/internal/wire"
+)
+
+// multiServer is fakeServer that keeps accepting connections, handing
+// every decoded request (with its conn) to respond. It returns the
+// address and a counter of accepted conns.
+func multiServer(t *testing.T, respond func(nc net.Conn, req *wire.Request)) (string, *atomic.Int64) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var accepted atomic.Int64
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted.Add(1)
+			go func() {
+				defer nc.Close()
+				var frame []byte
+				var req wire.Request
+				for {
+					var err error
+					frame, err = wire.ReadFrame(nc, frame)
+					if err != nil {
+						return
+					}
+					if err := wire.DecodeRequest(&req, frame); err != nil {
+						return
+					}
+					respond(nc, &req)
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), &accepted
+}
+
+func respondStatus(nc net.Conn, id uint64, st wire.Status, msg string) {
+	payload := wire.AppendResponse(nil, &wire.Response{ID: id, Status: st, Err: msg})
+	wire.WriteFrame(nc, payload)
+}
+
+// TestReconnectAfterDrop: the pool heals itself after every connection
+// is killed mid-stream, without the caller doing anything but retry.
+func TestReconnectAfterDrop(t *testing.T) {
+	_, addr := startServer(t, 4, 4, 1)
+	p, err := fault.NewProxy(addr, 1, fault.Faults{}, fault.Faults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dial(t, p.Addr(), client.WithBackoff(time.Millisecond, 20*time.Millisecond), client.WithRetries(20))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+	p.DropAll()
+	// The very next pings ride the retry policy across the redial.
+	if err := c.Ping(ctx); err != nil {
+		t.Fatalf("ping after drop: %v", err)
+	}
+	if c.Reconnects() == 0 {
+		t.Fatal("pool healed without recording a reconnect")
+	}
+	if p.Accepted() < 2 {
+		t.Fatalf("proxy accepted %d conns, want >= 2 (the redial)", p.Accepted())
+	}
+}
+
+// TestCloseDuringRedialNoLeak: closing the client while its redial loop
+// is spinning against a dead host must not leak the loop.
+func TestCloseDuringRedialNoLeak(t *testing.T) {
+	_, addr := startServer(t, 2, 2, 1)
+	p, err := fault.NewProxy(addr, 2, fault.Faults{}, fault.Faults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	baseline := runtime.NumGoroutine()
+	c := dial(t, p.Addr(), client.WithBackoff(time.Millisecond, 5*time.Millisecond))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+	p.SetReject(true) // redials now fail forever
+	p.DropAll()
+	c.Ping(ctx) // kicks the redial loop; outcome irrelevant
+	c.Close()   // must stop the redial loop promptly
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutine leak after Close during redial: %d > %d\n%s",
+			n, baseline, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// TestUpdateNotRetriedOnConnDeath: a connection dying with an update in
+// flight is ambiguous — the client must surface ErrConnBroken, not
+// silently re-execute a non-idempotent Add.
+func TestUpdateNotRetriedOnConnDeath(t *testing.T) {
+	var updates atomic.Int64
+	addr, _ := multiServer(t, func(nc net.Conn, req *wire.Request) {
+		switch req.Op {
+		case wire.OpUpdate:
+			updates.Add(1)
+			nc.Close() // die with the update in flight, no response
+		default:
+			respondStatus(nc, req.ID, wire.StatusOK, "")
+		}
+	})
+	c := dial(t, addr, client.WithBackoff(time.Millisecond, 5*time.Millisecond))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, err := c.Add(ctx, 1, []uint64{1})
+	if err == nil {
+		t.Fatal("Add succeeded with no response")
+	}
+	if !errors.Is(err, client.ErrConnBroken) {
+		t.Fatalf("err = %v, want ErrConnBroken", err)
+	}
+	if got := updates.Load(); got != 1 {
+		t.Fatalf("server saw %d update attempts, want exactly 1 (no blind retry)", got)
+	}
+}
+
+// TestReadRetriedOnConnDeath: the same connection death retries a Read
+// transparently — re-executing a read is harmless.
+func TestReadRetriedOnConnDeath(t *testing.T) {
+	var reads atomic.Int64
+	addr, _ := multiServer(t, func(nc net.Conn, req *wire.Request) {
+		if req.Op == wire.OpRead && reads.Add(1) == 1 {
+			nc.Close() // kill the first attempt
+			return
+		}
+		payload := wire.AppendResponse(nil, &wire.Response{
+			ID: req.ID, Status: wire.StatusOK, Rows: 1, Words: 1, Data: []uint64{7}})
+		wire.WriteFrame(nc, payload)
+	})
+	c := dial(t, addr, client.WithRetries(10), client.WithBackoff(time.Millisecond, 10*time.Millisecond))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	v, err := c.Read(ctx, 1)
+	if err != nil {
+		t.Fatalf("Read across conn death: %v", err)
+	}
+	if len(v) != 1 || v[0] != 7 {
+		t.Fatalf("Read = %v, want [7]", v)
+	}
+	if c.Retries() == 0 {
+		t.Fatal("read survived conn death without a recorded retry")
+	}
+}
+
+// TestBusyRetriedForUpdates: StatusBusy is the server's explicit
+// promise of non-execution, so even updates retry on it.
+func TestBusyRetriedForUpdates(t *testing.T) {
+	var attempts atomic.Int64
+	addr, _ := multiServer(t, func(nc net.Conn, req *wire.Request) {
+		if attempts.Add(1) == 1 {
+			respondStatus(nc, req.ID, wire.StatusBusy, "max inflight")
+			return
+		}
+		payload := wire.AppendResponse(nil, &wire.Response{
+			ID: req.ID, Status: wire.StatusOK, Rows: 1, Words: 1, Data: []uint64{1}})
+		wire.WriteFrame(nc, payload)
+	})
+	c := dial(t, addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	v, err := c.Add(ctx, 1, []uint64{1})
+	if err != nil {
+		t.Fatalf("Add across busy: %v", err)
+	}
+	if len(v) != 1 || v[0] != 1 {
+		t.Fatalf("Add = %v, want [1]", v)
+	}
+	if attempts.Load() != 2 || c.Retries() != 1 {
+		t.Fatalf("attempts=%d retries=%d, want 2 and 1", attempts.Load(), c.Retries())
+	}
+}
+
+// TestBusyExhaustsRetries: a server that never admits anything yields a
+// typed ErrRetriesExhausted still carrying ErrBusy.
+func TestBusyExhaustsRetries(t *testing.T) {
+	addr, _ := multiServer(t, func(nc net.Conn, req *wire.Request) {
+		respondStatus(nc, req.ID, wire.StatusBusy, "max inflight")
+	})
+	c := dial(t, addr, client.WithRetries(2), client.WithBackoff(time.Millisecond, 2*time.Millisecond))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, err := c.Add(ctx, 1, []uint64{1})
+	if !errors.Is(err, client.ErrRetriesExhausted) || !errors.Is(err, client.ErrBusy) {
+		t.Fatalf("err = %v, want ErrRetriesExhausted wrapping ErrBusy", err)
+	}
+}
+
+// TestUnavailableNotRetried: degraded mode is sticky; the client fails
+// fast with the typed error instead of hammering a sick server.
+func TestUnavailableNotRetried(t *testing.T) {
+	var attempts atomic.Int64
+	addr, _ := multiServer(t, func(nc net.Conn, req *wire.Request) {
+		attempts.Add(1)
+		respondStatus(nc, req.ID, wire.StatusUnavailable, "read-only: disk sick")
+	})
+	c := dial(t, addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, err := c.Set(ctx, 1, []uint64{1})
+	if !errors.Is(err, client.ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	if errors.Is(err, client.ErrRetriesExhausted) || attempts.Load() != 1 {
+		t.Fatalf("unavailable was retried (%d attempts): %v", attempts.Load(), err)
+	}
+}
+
+// TestOpTimeoutDefault: WithOpTimeout bounds calls whose context has no
+// deadline; the surface error stays context.DeadlineExceeded.
+func TestOpTimeoutDefault(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close() // accept and never answer
+		}
+	}()
+	c, err := client.Dial(l.Addr().String(), client.WithOpTimeout(30*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	err = c.Ping(context.Background())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded from the default op timeout", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("default op timeout took %v, want ~30ms", d)
+	}
+}
+
+// TestChaosNoAckedLossThroughProxy hammers a real server through a
+// proxy that keeps cutting connections at frame boundaries, then checks
+// the acked-adds invariant: every Add the client acked is in the final
+// value (the server may additionally hold unacked ones — that is the
+// ambiguity the retry policy refuses to paper over).
+func TestChaosNoAckedLossThroughProxy(t *testing.T) {
+	srv, addr := startServer(t, 4, 4, 1)
+	p, err := fault.NewProxy(addr, 42,
+		fault.Faults{CutAfterBytes: 4 << 10, CutAtFrame: true},
+		fault.Faults{PartialEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dial(t, p.Addr(), client.WithConns(2),
+		client.WithRetries(20), client.WithBackoff(time.Millisecond, 10*time.Millisecond))
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	const workers = 4
+	const perW = 150
+	var acked atomic.Uint64
+	var wg sync.WaitGroup
+	key := uint64(99)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				if _, err := c.Add(ctx, key, []uint64{1}); err == nil {
+					acked.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if acked.Load() == 0 {
+		t.Fatal("no add was ever acked through the chaos proxy")
+	}
+	if p.Accepted() <= 2 {
+		t.Fatalf("proxy accepted %d conns; cuts never forced a reconnect", p.Accepted())
+	}
+	// Read the truth off the server directly, bypassing the proxy.
+	direct := dial(t, addr)
+	v, err := direct.Read(ctx, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] < acked.Load() {
+		t.Fatalf("acked-write loss: server holds %d, clients got %d acks", v[0], acked.Load())
+	}
+	if v[0] > workers*perW {
+		t.Fatalf("server holds %d adds, more than the %d issued", v[0], workers*perW)
+	}
+	_ = srv
+}

@@ -1,0 +1,146 @@
+package fault
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Proxy is a loopback TCP proxy that forwards every accepted connection
+// to a fixed target, wrapping the client-facing side in a fault Conn.
+// Tests point a real client at Addr() and a real server at the target,
+// then inject network hostility between them without either side
+// cooperating: read-side faults hit the request stream, write-side
+// faults hit the response stream, DropAll simulates a network blip, and
+// SetReject simulates an unreachable host during reconnect storms.
+//
+// Each accepted connection gets its own deterministic seed derived from
+// the proxy seed and the connection's accept ordinal.
+type Proxy struct {
+	ln     net.Listener
+	target string
+	seed   uint64
+	read   Faults
+	write  Faults
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	reject   atomic.Bool
+	accepted atomic.Int64
+	wg       sync.WaitGroup
+}
+
+// NewProxy listens on a fresh loopback port and forwards to target.
+func NewProxy(target string, seed uint64, read, write Faults) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, target: target, seed: seed, read: read, write: write,
+		conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the address clients should dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Accepted returns how many connections the proxy has accepted — the
+// reconnect count, from a resilience test's point of view.
+func (p *Proxy) Accepted() int64 { return p.accepted.Load() }
+
+// SetReject makes the proxy close new connections immediately (true),
+// simulating a dead host, or accept them again (false).
+func (p *Proxy) SetReject(v bool) { p.reject.Store(v) }
+
+// DropAll abortively closes every live proxied connection; established
+// traffic dies mid-flight while the listener keeps accepting.
+func (p *Proxy) DropAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for nc := range p.conns {
+		if tc, ok := nc.(*net.TCPConn); ok {
+			tc.SetLinger(0)
+		}
+		nc.Close()
+	}
+}
+
+// Close stops accepting, drops every connection, and waits for the
+// forwarder goroutines to drain.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.ln.Close()
+	p.DropAll()
+	p.wg.Wait()
+}
+
+func (p *Proxy) track(nc net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[nc] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(nc net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, nc)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		nc, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		if p.reject.Load() {
+			if tc, ok := nc.(*net.TCPConn); ok {
+				tc.SetLinger(0)
+			}
+			nc.Close()
+			continue
+		}
+		i := p.accepted.Add(1)
+		bc, err := net.Dial("tcp", p.target)
+		if err != nil {
+			nc.Close()
+			continue
+		}
+		wc := Wrap(nc, p.seed+uint64(i)*0x9e3779b97f4a7c15, p.read, p.write)
+		if !p.track(wc) || !p.track(bc) {
+			nc.Close()
+			bc.Close()
+			return
+		}
+		p.wg.Add(2)
+		go p.forward(wc, bc)
+		go p.forward(bc, wc)
+	}
+}
+
+// forward pumps src into dst until either side dies, then tears both
+// down so the peer notices promptly.
+func (p *Proxy) forward(dst, src net.Conn) {
+	defer p.wg.Done()
+	buf := make([]byte, 32<<10)
+	io.CopyBuffer(dst, src, buf)
+	src.Close()
+	dst.Close()
+	p.untrack(src)
+	p.untrack(dst)
+}

@@ -75,6 +75,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
+	"os"
 	"time"
 
 	"mwllsc/internal/wire"
@@ -127,6 +129,15 @@ func ParsePolicy(s string) (Policy, error) {
 	}
 }
 
+// LogFile is what the store needs from a log segment file. The default
+// is a plain *os.File; fault-injection harnesses substitute an
+// error-injecting implementation through Options.OpenLog.
+type LogFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
 // Options configures Open.
 type Options struct {
 	// Policy is the fsync policy (default SyncNone).
@@ -134,11 +145,22 @@ type Options struct {
 	// Interval overrides SyncEverySec's period (default 1s); tests use
 	// short intervals.
 	Interval time.Duration
+	// OpenLog opens a log segment file for appending (default:
+	// os.OpenFile with O_CREATE|O_WRONLY|O_APPEND). It exists so tests
+	// can inject disk faults (internal/fault.Files) under the store's
+	// real append and group-commit paths; checkpoint files are not
+	// routed through it.
+	OpenLog func(path string) (LogFile, error)
 }
 
 func (o Options) withDefaults() Options {
 	if o.Interval <= 0 {
 		o.Interval = time.Second
+	}
+	if o.OpenLog == nil {
+		o.OpenLog = func(path string) (LogFile, error) {
+			return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		}
 	}
 	return o
 }

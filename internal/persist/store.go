@@ -49,6 +49,9 @@ type Store struct {
 
 	failMu  sync.Mutex
 	failure error
+	sick    atomic.Bool
+
+	openLog func(path string) (LogFile, error)
 
 	records atomic.Uint64
 	bytes   atomic.Uint64
@@ -68,7 +71,7 @@ type Store struct {
 // shardLog is one shard's current segment file.
 type shardLog struct {
 	mu    sync.Mutex
-	f     *os.File
+	f     LogFile
 	buf   []byte
 	dirty atomic.Bool
 }
@@ -123,13 +126,13 @@ func Open(dir string, m *shard.Map, opts Options) (*Store, Recovery, error) {
 		done:       make(chan struct{}),
 		appendHist: obs.NewHistogram(k),
 		syncHist:   obs.NewHistogram(1),
+		openLog:    opts.OpenLog,
 	}
 	s.seq.Store(maxSeq)
 	rec.NextSeq = maxSeq
 	s.logs = make([]*shardLog, k)
 	for i := range s.logs {
-		f, err := os.OpenFile(filepath.Join(dir, segName(i, s.gen)),
-			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := s.openLog(filepath.Join(dir, segName(i, s.gen)))
 		if err != nil {
 			for _, lg := range s.logs[:i] {
 				lg.f.Close()
@@ -180,12 +183,18 @@ func (s *Store) Err() error {
 	return s.failure
 }
 
+// Sick reports whether the store has a sticky failure — the lock-free
+// form of Err() != nil, cheap enough for the server to consult on every
+// batch when disk-sick degraded mode is enabled.
+func (s *Store) Sick() bool { return s.sick.Load() }
+
 func (s *Store) fail(err error) {
 	s.failMu.Lock()
 	if s.failure == nil {
 		s.failure = err
 	}
 	s.failMu.Unlock()
+	s.sick.Store(true)
 }
 
 // NextSeq allocates the next commit sequence number. The server calls
@@ -369,8 +378,7 @@ func (s *Store) Checkpoint(capture func() (rows [][]uint64, watermark uint64, er
 func (s *Store) rotate() error {
 	s.gen++
 	for i, lg := range s.logs {
-		f, err := os.OpenFile(filepath.Join(s.dir, segName(i, s.gen)),
-			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := s.openLog(filepath.Join(s.dir, segName(i, s.gen)))
 		if err != nil {
 			return fmt.Errorf("persist: rotating shard %d log: %w", i, err)
 		}

@@ -31,11 +31,14 @@ func HotPathAllocs(runs int) (readAllocs, updateAllocs float64, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	// Metrics on, tracer attached with sampling off: the zero-allocs
-	// gate must hold with the full observability stack compiled in, or
-	// the obs and trace layers would quietly exempt themselves from the
-	// discipline they exist to watch.
-	s := New(m, WithMetrics(NewMetrics(m.N())), WithTracer(trace.New(trace.Config{})))
+	// Metrics on, tracer attached with sampling off, admission control
+	// enabled: the zero-allocs gate must hold with the full
+	// observability stack compiled in and the overload controls armed,
+	// or those layers would quietly exempt themselves from the
+	// discipline they exist to watch. (The token is a non-blocking
+	// channel send per batch — the gate proves it stays free.)
+	s := New(m, WithMetrics(NewMetrics(m.N())), WithTracer(trace.New(trace.Config{})),
+		WithMaxInflight(4))
 	cs := s.newConnState()
 	out := make(chan outResp, 2*batchN)
 

@@ -19,6 +19,16 @@ const (
 	cBatches
 	cBadReqs
 	cPersistErrs
+	// Overload-control counters (wire stats words 17-21). Shed, idle
+	// and eviction events happen with no registry slot in hand and are
+	// bumped on stripe 0; busy and degraded rejections follow the path
+	// that produced them (stripe 0 for whole-batch busy rejects, the
+	// batch's slot stripe for per-update degraded rejects).
+	cConnsShed
+	cBusy
+	cEvictions
+	cIdleClosed
+	cDegraded
 	numCounters
 )
 
@@ -79,6 +89,11 @@ func (s *Server) RegisterMetrics(reg *obs.Registry) {
 	reg.Counter("llscd_batches_total", "Handle-acquire batches executed.", ctr(cBatches))
 	reg.Counter("llscd_bad_requests_total", "Requests rejected with a non-OK status.", ctr(cBadReqs))
 	reg.Counter("llscd_persist_errors_total", "Failed persistence rounds (append or fsync).", ctr(cPersistErrs))
+	reg.Counter("llscd_conns_shed_total", "Connections closed at accept by the max-conns cap.", ctr(cConnsShed))
+	reg.Counter("llscd_busy_rejects_total", "Requests rejected StatusBusy by admission control.", ctr(cBusy))
+	reg.Counter("llscd_evictions_total", "Connections evicted for stalling on their responses.", ctr(cEvictions))
+	reg.Counter("llscd_idle_closes_total", "Connections closed by the read-idle timeout.", ctr(cIdleClosed))
+	reg.Counter("llscd_degraded_rejects_total", "Updates rejected StatusUnavailable in disk-sick degraded mode.", ctr(cDegraded))
 
 	reg.Gauge("llscd_shards", "Map geometry: shard count K.", func() uint64 { return uint64(s.m.Shards()) })
 	reg.Gauge("llscd_slots", "Map geometry: registry process slots N.", func() uint64 { return uint64(s.m.N()) })

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -79,6 +80,63 @@ func WithPersist(st *persist.Store) Option {
 	return func(s *Server) { s.persist = st }
 }
 
+// WithMaxConns caps concurrently open connections (default 0 =
+// unlimited). A connection accepted past the cap is closed immediately
+// without serving a byte — shedding at the door is the one overload
+// defense that costs the server nothing per rejected client — and
+// counted as ShedConns in the stats.
+func WithMaxConns(n int) Option {
+	return func(s *Server) { s.maxConns = n }
+}
+
+// WithIdleTimeout closes a connection whose next request does not
+// arrive within d (default 0 = never). The deadline is re-armed before
+// each batch-head read, so it also evicts peers that stall mid-frame;
+// an active pipelining client never notices it. Closures are counted
+// as IdleCloses.
+func WithIdleTimeout(d time.Duration) Option {
+	return func(s *Server) { s.idleTimeout = d }
+}
+
+// WithWriteTimeout evicts a connection whose peer stops draining its
+// responses: each coalesced write must complete within d (default 0 =
+// never). Without it a non-reading client eventually fills its TCP
+// window and parks the writer goroutine forever, pinning the
+// connection's buffers; with it the write fails, the connection is
+// closed, and the eviction is counted as Evictions.
+func WithWriteTimeout(d time.Duration) Option {
+	return func(s *Server) { s.writeTimeout = d }
+}
+
+// WithMaxInflight bounds how many batches may be executing (registry
+// slot through durability) at once (default 0 = unbounded). A batch
+// that finds all n admission tokens taken is rejected whole with
+// StatusBusy — before acquiring a slot, touching the map, or logging
+// anything — which clients treat as an explicit not-executed promise
+// and retry with backoff. This converts overload from queueing collapse
+// (every request slower) into cheap early rejection (admitted requests
+// at full speed, the rest bounced in microseconds); the E16 benchmark
+// measures exactly this difference. Rejections count as BusyRejects.
+func WithMaxInflight(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.sem = make(chan struct{}, n)
+		}
+	}
+}
+
+// WithDegradeOnDiskError turns a sick durability store into read-only
+// degraded mode: once the store has refused an append (torn write,
+// fsync failure — persist.Store.Sick), updates are rejected with
+// StatusUnavailable before touching the map, while reads, snapshots,
+// pings and stats keep serving from memory. Without it (the default)
+// the server keeps accepting updates that are applied in memory but
+// never durable — visibly, via PersistErrs, but a restart silently
+// rewinds them. Rejections count as DegradedRejects.
+func WithDegradeOnDiskError(on bool) Option {
+	return func(s *Server) { s.degrade = on }
+}
+
 // Server serves a shard.Map over TCP.
 type Server struct {
 	m        *shard.Map
@@ -87,6 +145,13 @@ type Server struct {
 	persist  *persist.Store
 	metrics  *Metrics
 	tracer   *trace.Tracer
+
+	// Overload controls; zero values mean "off" (see the With* options).
+	maxConns     int
+	idleTimeout  time.Duration
+	writeTimeout time.Duration
+	sem          chan struct{} // admission tokens; nil = unbounded
+	degrade      bool
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -190,6 +255,15 @@ func (s *Server) Serve() error {
 			c.Close()
 			return ErrClosed
 		}
+		if s.maxConns > 0 && len(s.conns) >= s.maxConns {
+			// Shed at the door: closing before serving a byte is the only
+			// rejection whose cost does not grow with load. The client sees
+			// a reset/EOF and treats it like any broken connection.
+			s.mu.Unlock()
+			c.Close()
+			s.ctrs.Inc(0, cConnsShed)
+			continue
+		}
 		s.conns[c] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
@@ -255,6 +329,12 @@ func (s *Server) Stats() wire.ServerStats {
 		Batches:     c[cBatches],
 		BadReqs:     c[cBadReqs],
 		PersistErrs: c[cPersistErrs],
+
+		ShedConns:       c[cConnsShed],
+		BusyRejects:     c[cBusy],
+		Evictions:       c[cEvictions],
+		IdleCloses:      c[cIdleClosed],
+		DegradedRejects: c[cDegraded],
 	}
 	if s.metrics != nil {
 		snap := s.metrics.Service.Snapshot()
@@ -300,6 +380,10 @@ type connState struct {
 	rec        *persist.Record // nil when the op is not persisted
 	mergeOne   func(v []uint64)
 	mergeMulti func(vals [][]uint64)
+
+	// degraded is the per-batch verdict of the disk-sick check: set once
+	// per batch in executeBatch, read by execute for every update in it.
+	degraded bool
 
 	// Tracing state. tRead is the batch head's arrival stamp — the one
 	// clock read the untraced path pays per batch when a tracer is
@@ -441,6 +525,26 @@ func (s *Server) writeLoop(c net.Conn, out <-chan outResp, cs *connState) {
 	buf := make([]byte, 0, writeBufCap)
 	payload := make([]byte, 0, 4<<10)
 	var spans []*trace.Span // spans riding in buf, finished at its flush
+	// write pushes one coalesced buffer, under the write-stall deadline
+	// when one is set. On failure it closes the connection itself: an
+	// evicted-but-alive peer would otherwise keep the read loop (and the
+	// connection's buffers) parked until it went away on its own.
+	write := func(b []byte) error {
+		if s.writeTimeout > 0 {
+			c.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+		}
+		_, err := c.Write(b)
+		if err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				s.ctrs.Inc(0, cEvictions)
+				s.logf("server: evicting stalled reader %v: %v", c.RemoteAddr(), err)
+			} else {
+				s.logf("server: write to %v: %v", c.RemoteAddr(), err)
+			}
+			c.Close()
+		}
+		return err
+	}
 	finish := func(failed bool) {
 		if len(spans) == 0 {
 			return
@@ -467,8 +571,7 @@ func (s *Server) writeLoop(c net.Conn, out <-chan outResp, cs *connState) {
 			select {
 			case next, ok := <-out:
 				if !ok {
-					if _, err := c.Write(buf); err != nil {
-						s.logf("server: write to %v: %v", c.RemoteAddr(), err)
+					if write(buf) != nil {
 						finish(true)
 						return
 					}
@@ -486,8 +589,7 @@ func (s *Server) writeLoop(c net.Conn, out <-chan outResp, cs *connState) {
 			}
 		}
 	flush:
-		if _, err := c.Write(buf); err != nil {
-			s.logf("server: write to %v: %v", c.RemoteAddr(), err)
+		if write(buf) != nil {
 			finish(true)
 			// Drain so the reader never blocks on a dead connection;
 			// in-flight spans still retire (marked Err) so they are not
@@ -528,10 +630,22 @@ func (s *Server) readLoop(c net.Conn, out chan<- outResp, cs *connState) {
 	br := bufio.NewReaderSize(c, 64<<10)
 	var frame []byte
 	for {
-		// Block for the head of the next batch.
+		// Block for the head of the next batch, for at most the idle
+		// timeout when one is set. Re-arming before each head read means
+		// the deadline also covers a peer that stalls mid-frame; the
+		// drain reads below never block (frameBuffered), so an active
+		// client pays one SetReadDeadline syscall per batch, not per
+		// request.
+		if s.idleTimeout > 0 {
+			c.SetReadDeadline(time.Now().Add(s.idleTimeout))
+		}
 		var err error
 		frame, err = wire.ReadFrame(br, frame)
 		if err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				s.ctrs.Inc(0, cIdleClosed)
+				s.logf("server: closing idle connection %v", c.RemoteAddr())
+			}
 			return
 		}
 		if s.tracer != nil {
@@ -644,6 +758,24 @@ func (s *Server) executeBatch(cs *connState, out chan<- outResp) {
 	if len(batch) == 0 {
 		return
 	}
+	// Admission: try to take an inflight token before committing any
+	// resources to the batch. No token means the server is already
+	// executing its configured maximum — reject the whole batch with
+	// StatusBusy now, in microseconds, rather than queue it behind work
+	// that is itself queued. The non-blocking send is the entire cost on
+	// the admitted path.
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.rejectBusy(cs, out)
+			return
+		}
+	}
+	// Degraded mode is decided once per batch: the store's sick flag is
+	// a single atomic load, and every update in the batch sees the same
+	// verdict.
+	cs.degraded = s.degrade && s.persist != nil && s.persist.Sick()
 	// One branch decides whether this batch pays for stage stamping:
 	// every timestamp below is taken once per batch and attributed to
 	// every traced span in it (the same batch-window attribution the
@@ -754,6 +886,12 @@ func (s *Server) executeBatch(cs *connState, out chan<- outResp) {
 			}
 		}
 	}
+	// The admission token covers slot acquisition through durability —
+	// the stages whose concurrency overload actually multiplies; the
+	// stamping and emit below are per-connection bookkeeping.
+	if s.sem != nil {
+		<-s.sem
+	}
 	if s.metrics != nil {
 		// One timestamp pair per batch: the whole execute+persist window,
 		// attributed to every request in it. Under SyncAlways this is the
@@ -798,6 +936,47 @@ func (s *Server) executeBatch(cs *connState, out chan<- outResp) {
 		}
 	}
 	for i, resp := range cs.resps {
+		out <- outResp{resp: resp, span: batch[i].span}
+	}
+}
+
+// busyMsg and degradedMsg are the constant rejection texts: both paths
+// run under load (busy: every over-capacity batch; degraded: every
+// update while sick), so they must not format anything per request.
+const (
+	busyMsg     = "server busy: inflight batch limit reached, retry with backoff"
+	degradedMsg = "server degraded: durability log failed, updates disabled (reads still serve)"
+)
+
+// rejectBusy answers every request of the gathered batch with
+// StatusBusy — the server's explicit promise that none of them reached
+// the map, which is what lets clients safely retry even updates. It
+// runs with no registry slot in hand, so counting uses stripe 0 (like
+// the other no-slot paths); traced requests still produce spans so an
+// overloaded server remains observable through /tracez.
+func (s *Server) rejectBusy(cs *connState, out chan<- outResp) {
+	batch := cs.batch
+	s.ctrs.Add(0, cBusy, uint64(len(batch)))
+	s.ctrs.Add(0, cBadReqs, uint64(len(batch)))
+	for i := range batch {
+		req := &batch[i].req
+		resp := cs.getResp()
+		resp.ID = req.ID
+		resp.Status = wire.StatusBusy
+		resp.Err = busyMsg
+		if sp := batch[i].span; sp != nil {
+			sp.Begin(cs.tRead) // resets the span; set fields after
+			sp.Op = uint8(req.Op)
+			sp.Key = req.Key
+			sp.Batch = uint32(len(batch))
+			sp.Err = true
+			if req.Traced {
+				sp.TraceID = req.TraceID
+			} else {
+				sp.Sampled = true
+				sp.TraceID = cs.nextTraceID()
+			}
+		}
 		out <- outResp{resp: resp, span: batch[i].span}
 	}
 }
@@ -865,6 +1044,10 @@ func (s *Server) execute(cs *connState, h *shard.MapHandle, p int, req *wire.Req
 
 	case wire.OpUpdate:
 		s.ctrs.Inc(p, cUpdates)
+		if cs.degraded {
+			s.failDegraded(p, resp)
+			return
+		}
 		if len(req.Args) != w {
 			s.fail(p, resp, "update args have %d words, map width is %d", len(req.Args), w)
 			return
@@ -912,6 +1095,10 @@ func (s *Server) execute(cs *connState, h *shard.MapHandle, p int, req *wire.Req
 
 	case wire.OpUpdateMulti:
 		s.ctrs.Inc(p, cMultis)
+		if cs.degraded {
+			s.failDegraded(p, resp)
+			return
+		}
 		nk := len(req.Keys)
 		if len(req.Args) != nk*w {
 			s.fail(p, resp, "updatemulti args have %d words, want %d keys × width %d", len(req.Args), nk, w)
@@ -961,6 +1148,18 @@ func (s *Server) fail(p int, resp *wire.Response, format string, args ...any) {
 	s.ctrs.Inc(p, cBadReqs)
 	resp.Status = wire.StatusBadRequest
 	resp.Err = fmt.Sprintf(format, args...)
+	resp.Attempts, resp.Rows, resp.Words = 0, 0, 0
+	resp.Data = resp.Data[:0]
+}
+
+// failDegraded marks resp as a StatusUnavailable rejection: the
+// read-only degraded mode's answer to an update. The message is
+// constant — this path runs for every update while the store is sick.
+func (s *Server) failDegraded(p int, resp *wire.Response) {
+	s.ctrs.Inc(p, cDegraded)
+	s.ctrs.Inc(p, cBadReqs)
+	resp.Status = wire.StatusUnavailable
+	resp.Err = degradedMsg
 	resp.Attempts, resp.Rows, resp.Words = 0, 0, 0
 	resp.Data = resp.Data[:0]
 }

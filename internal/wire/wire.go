@@ -148,6 +148,18 @@ const (
 	StatusBadRequest
 	// StatusShutdown: the server is draining; retry against another one.
 	StatusShutdown
+	// StatusBusy: the server's admission controller rejected the request
+	// before executing any of it (no map state was touched), because too
+	// many batches were already in flight. Explicitly retryable for every
+	// op, including non-idempotent updates: the server guarantees the
+	// request did not run. Clients should back off before retrying.
+	StatusBusy
+	// StatusUnavailable: the server is in disk-sick read-only degraded
+	// mode (a sticky persistence failure with -degrade-on-disk-error);
+	// the update was rejected without touching the map so it cannot be
+	// acked-but-lost. Reads keep working. Not worth retrying against the
+	// same server: the condition is sticky until an operator intervenes.
+	StatusUnavailable
 )
 
 // String returns the status mnemonic.
@@ -159,6 +171,10 @@ func (s Status) String() string {
 		return "bad-request"
 	case StatusShutdown:
 		return "shutdown"
+	case StatusBusy:
+		return "busy"
+	case StatusUnavailable:
+		return "unavailable"
 	default:
 		return fmt.Sprintf("Status(%d)", uint8(s))
 	}
@@ -585,13 +601,30 @@ type ServerStats struct {
 	// FsyncP99 is the p99 group-commit fsync latency in nanoseconds,
 	// zero when the server runs without a durability store.
 	FsyncP99 uint64
+	// Overload-control counters (optional words 17-21), zero on servers
+	// that predate them or run with the limits off:
+	//
+	// ShedConns counts connections closed at accept because -max-conns
+	// was reached; BusyRejects counts requests answered StatusBusy by the
+	// admission controller; Evictions counts connections closed because a
+	// slow reader stalled the server's response write past the write
+	// deadline; IdleCloses counts connections closed by the read-idle
+	// deadline; DegradedRejects counts updates answered
+	// StatusUnavailable in disk-sick read-only degraded mode.
+	ShedConns       uint64
+	BusyRejects     uint64
+	Evictions       uint64
+	IdleCloses      uint64
+	DegradedRejects uint64
 }
 
 // statsWords is the minimum wire width of ServerStats; PersistErrs
-// rides as an optional 13th word and the latency quantiles
-// (LatP50/LatP99/LatP999/FsyncP99) as optional words 14-17, so new
-// clients still decode rows from older servers (and, per the
-// tolerant-decode rule above, vice versa).
+// rides as an optional 13th word, the latency quantiles
+// (LatP50/LatP99/LatP999/FsyncP99) as optional words 14-17, and the
+// overload-control counters (ShedConns/BusyRejects/Evictions/
+// IdleCloses/DegradedRejects) as optional words 17-21, so new clients
+// still decode rows from older servers (and, per the tolerant-decode
+// rule above, vice versa).
 const statsWords = 12
 
 // Append encodes s in field order.
@@ -601,7 +634,8 @@ func (s *ServerStats) Append(dst []uint64) []uint64 {
 		s.ConnsTotal, s.ConnsOpen,
 		s.Reqs, s.Updates, s.Reads, s.Snapshots, s.Multis,
 		s.Batches, s.BadReqs, s.PersistErrs,
-		s.LatP50, s.LatP99, s.LatP999, s.FsyncP99)
+		s.LatP50, s.LatP99, s.LatP999, s.FsyncP99,
+		s.ShedConns, s.BusyRejects, s.Evictions, s.IdleCloses, s.DegradedRejects)
 }
 
 // DecodeStats decodes a stats row previously produced by Append.
@@ -617,7 +651,8 @@ func DecodeStats(row []uint64) (ServerStats, error) {
 	}
 	// Optional trailing words, newest-last; a shorter row from an older
 	// server leaves them zero.
-	opt := []*uint64{&st.PersistErrs, &st.LatP50, &st.LatP99, &st.LatP999, &st.FsyncP99}
+	opt := []*uint64{&st.PersistErrs, &st.LatP50, &st.LatP99, &st.LatP999, &st.FsyncP99,
+		&st.ShedConns, &st.BusyRejects, &st.Evictions, &st.IdleCloses, &st.DegradedRejects}
 	for i, p := range opt {
 		if len(row) > statsWords+i {
 			*p = row[statsWords+i]

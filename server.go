@@ -1,6 +1,8 @@
 package mwllsc
 
 import (
+	"time"
+
 	"mwllsc/internal/server"
 )
 
@@ -38,3 +40,24 @@ func WithServerMaxBatch(n int) ServerOption { return server.WithMaxBatch(n) }
 func WithServerLogf(logf func(format string, args ...any)) ServerOption {
 	return server.WithLogf(logf)
 }
+
+// WithServerMaxConns caps concurrently open connections; excess
+// connections are closed at accept (default 0 = unlimited).
+func WithServerMaxConns(n int) ServerOption { return server.WithMaxConns(n) }
+
+// WithServerIdleTimeout closes a connection whose next request does not
+// arrive within d (default 0 = never).
+func WithServerIdleTimeout(d time.Duration) ServerOption { return server.WithIdleTimeout(d) }
+
+// WithServerWriteTimeout evicts a connection whose peer stops reading
+// its responses for d (default 0 = never) — the slow-reader defense
+// that keeps one stalled client from pinning buffers forever.
+func WithServerWriteTimeout(d time.Duration) ServerOption { return server.WithWriteTimeout(d) }
+
+// WithServerMaxInflight bounds concurrently executing request batches
+// (default 0 = unbounded). Excess batches are rejected whole with a
+// retryable busy status before touching the map; the Client retries
+// them automatically with backoff. This is the admission control that
+// keeps goodput near capacity under overload instead of collapsing
+// into queueing delay.
+func WithServerMaxInflight(n int) ServerOption { return server.WithMaxInflight(n) }
